@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Ctx Heap Pmem Pmem_config Printf Random Specpmt Stats Sys

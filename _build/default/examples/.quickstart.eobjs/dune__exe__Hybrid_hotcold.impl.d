@@ -1,0 +1,1 @@
+examples/hybrid_hotcold.ml: Ctx Heap Hwconfig Pmem Pmem_config Printf Random Spec_hw Specpmt Stats

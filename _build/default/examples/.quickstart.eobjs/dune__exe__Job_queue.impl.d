@@ -1,0 +1,1 @@
+examples/job_queue.ml: Array Ctx Heap Pmem Pmem_config Printf Random Specpmt Specpmt_pstruct Sys

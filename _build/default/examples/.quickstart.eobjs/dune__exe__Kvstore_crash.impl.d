@@ -1,0 +1,1 @@
+examples/kvstore_crash.ml: Array Ctx Hashtbl Heap Pmem Pmem_config Printf Random Specpmt Specpmt_pstruct Sys

@@ -1,0 +1,1 @@
+examples/mechanism_switch.ml: Ctx Heap Pmem Pmem_config Printf Spec_soft Specpmt

@@ -1,0 +1,1 @@
+examples/paper_figure4.ml: Array Ctx Heap Log_arena Pmem Pmem_config Printf Spec_soft Specpmt Specpmt_backends

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ctx Heap Pmem Pmem_config Printf Specpmt Stats

@@ -1,0 +1,1 @@
+lib/backends/intent_log.ml: Addr Heap List Pmem Specpmt_pmalloc Specpmt_pmem

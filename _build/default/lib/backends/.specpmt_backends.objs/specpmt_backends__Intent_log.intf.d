@@ -1,0 +1,1 @@
+lib/backends/intent_log.mli: Heap Specpmt_pmalloc

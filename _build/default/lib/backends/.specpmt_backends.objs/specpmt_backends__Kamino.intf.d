@@ -1,0 +1,1 @@
+lib/backends/kamino.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

@@ -1,0 +1,1 @@
+lib/backends/pmdk_undo.ml: Addr Ctx Heap Intent_log List Pmem Slots Specpmt_pmalloc Specpmt_pmem Specpmt_txn Write_set

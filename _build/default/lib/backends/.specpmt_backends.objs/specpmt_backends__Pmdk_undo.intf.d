@@ -1,0 +1,1 @@
+lib/backends/pmdk_undo.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

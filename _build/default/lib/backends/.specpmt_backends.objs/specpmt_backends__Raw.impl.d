@@ -1,0 +1,1 @@
+lib/backends/raw.ml: Ctx Heap Pmem Specpmt_pmalloc Specpmt_pmem Specpmt_txn

@@ -1,0 +1,1 @@
+lib/backends/raw.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

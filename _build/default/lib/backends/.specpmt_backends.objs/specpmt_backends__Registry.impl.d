@@ -1,0 +1,1 @@
+lib/backends/registry.ml: Ctx Kamino List Pmdk_undo Raw Spec_hashlog Spec_soft Specpmt_txn Spht String

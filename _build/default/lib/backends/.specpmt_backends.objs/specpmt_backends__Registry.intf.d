@@ -1,0 +1,1 @@
+lib/backends/registry.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

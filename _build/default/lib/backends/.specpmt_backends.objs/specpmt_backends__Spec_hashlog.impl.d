@@ -1,0 +1,1 @@
+lib/backends/spec_hashlog.ml: Addr Checksum Ctx Hashtbl Heap Layout List Pmem Slots Specpmt_pmalloc Specpmt_pmem Specpmt_txn Tsc Write_set

@@ -1,0 +1,1 @@
+lib/backends/spec_hashlog.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

@@ -1,0 +1,1 @@
+lib/backends/spec_mt.ml: Array Ctx Hashtbl Heap List Log_arena Pmem Slots Spec_soft Specpmt_pmalloc Specpmt_pmem Specpmt_txn Tsc

@@ -1,0 +1,1 @@
+lib/backends/spec_mt.mli: Ctx Heap Spec_soft Specpmt_pmalloc Specpmt_txn

@@ -1,0 +1,1 @@
+lib/backends/spec_soft.mli: Addr Ctx Hashtbl Heap Log_arena Pmem Specpmt_pmalloc Specpmt_pmem Specpmt_txn

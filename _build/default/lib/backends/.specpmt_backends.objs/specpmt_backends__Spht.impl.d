@@ -1,0 +1,1 @@
+lib/backends/spht.ml: Addr Array Ctx Hashtbl Heap List Log_arena Pmem Slots Specpmt_pmalloc Specpmt_pmem Specpmt_txn Tsc Write_set

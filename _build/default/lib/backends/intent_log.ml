@@ -1,0 +1,116 @@
+(** Shared fixed-region write-ahead intent log used by the undo-style
+    baselines (PMDK, Kamino-Tx).
+
+    Layout: [capacity:8][count:8][entries ...], where an entry is
+    [words_per_entry] 8-byte cells.  The persistent [count] cell is the
+    log's validity marker: every append persists the entry and the new
+    count with a persist barrier before the caller may update data — the
+    classical "a fence after each log" of Figure 2 (left). *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+
+type t = {
+  heap : Heap.t;
+  pm : Pmem.t;
+  region_slot : int;
+  capacity_slot : int;
+  words_per_entry : int;
+  mutable region : Addr.t;
+  mutable capacity : int;
+  mutable count : int; (* cached copy of the persistent count *)
+}
+
+let entries_base r = r + 16
+let count_addr r = r + 8
+
+let allocate_region t capacity =
+  let bytes = 16 + (capacity * t.words_per_entry * 8) in
+  let r = Heap.alloc_log t.heap bytes in
+  Pmem.store_int t.pm r capacity;
+  Pmem.store_int t.pm (count_addr r) 0;
+  Pmem.flush_range t.pm r 16;
+  Pmem.store_int t.pm (Heap.root_slot t.heap t.region_slot) r;
+  Pmem.store_int t.pm (Heap.root_slot t.heap t.capacity_slot) capacity;
+  Pmem.clwb t.pm (Heap.root_slot t.heap t.region_slot);
+  Pmem.sfence t.pm;
+  t.region <- r;
+  t.capacity <- capacity
+
+let create heap ~region_slot ~capacity_slot ~words_per_entry ~capacity =
+  let t =
+    {
+      heap;
+      pm = Heap.pmem heap;
+      region_slot;
+      capacity_slot;
+      words_per_entry;
+      region = 0;
+      capacity = 0;
+      count = 0;
+    }
+  in
+  allocate_region t capacity;
+  t
+
+let attach heap ~region_slot ~capacity_slot ~words_per_entry =
+  let pm = Heap.pmem heap in
+  let region = Pmem.load_int pm (Heap.root_slot heap region_slot) in
+  let capacity = Pmem.load_int pm (Heap.root_slot heap capacity_slot) in
+  {
+    heap;
+    pm;
+    region_slot;
+    capacity_slot;
+    words_per_entry;
+    region;
+    capacity;
+    count = Pmem.load_int pm (count_addr region);
+  }
+
+let grow t =
+  let old = t.region in
+  let old_count = t.count in
+  let cap = t.capacity * 2 in
+  let old_base = entries_base old in
+  allocate_region t cap;
+  (* copy live entries of the open transaction into the new region *)
+  let base = entries_base t.region in
+  for w = 0 to (old_count * t.words_per_entry) - 1 do
+    Pmem.store_int t.pm (base + (w * 8)) (Pmem.load_int t.pm (old_base + (w * 8)))
+  done;
+  Pmem.store_int t.pm (count_addr t.region) old_count;
+  Pmem.flush_range t.pm t.region (16 + (old_count * t.words_per_entry * 8));
+  Pmem.sfence t.pm;
+  Heap.free t.heap old
+
+(** Append an entry and make it durable: store the words, flush them,
+    bump and flush the count, fence.  This is the per-update persist
+    barrier whose removal is SpecPMT's whole point. *)
+let append_durable t words =
+  assert (List.length words = t.words_per_entry);
+  if t.count >= t.capacity then grow t;
+  let base = entries_base t.region + (t.count * t.words_per_entry * 8) in
+  List.iteri (fun i w -> Pmem.store_int t.pm (base + (i * 8)) w) words;
+  Pmem.flush_range t.pm base (t.words_per_entry * 8);
+  t.count <- t.count + 1;
+  Pmem.store_int t.pm (count_addr t.region) t.count;
+  Pmem.clwb t.pm (count_addr t.region);
+  Pmem.sfence t.pm
+
+(** Truncate the log (the commit marker of undo schemes): persist a zero
+    count with one barrier. *)
+let truncate_durable t =
+  t.count <- 0;
+  Pmem.store_int t.pm (count_addr t.region) 0;
+  Pmem.clwb t.pm (count_addr t.region);
+  Pmem.sfence t.pm
+
+let count t = t.count
+
+(** Read entry [i] (0-based, oldest first) as a word list. *)
+let entry t i =
+  let base = entries_base t.region + (i * t.words_per_entry * 8) in
+  List.init t.words_per_entry (fun w -> Pmem.load_int t.pm (base + (w * 8)))
+
+let footprint t = 16 + (t.capacity * t.words_per_entry * 8)

@@ -1,0 +1,36 @@
+(** Fixed-region write-ahead intent log shared by the undo-style software
+    baselines (PMDK, Kamino-Tx).
+
+    Layout: [capacity; count; entries...]; the persistent count cell is
+    the validity marker.  {!append_durable} persists the entry and the new
+    count with a full barrier before the caller may update data — the
+    per-update fence whose removal is SpecPMT's whole point. *)
+
+open Specpmt_pmalloc
+
+type t
+
+val create :
+  Heap.t ->
+  region_slot:int ->
+  capacity_slot:int ->
+  words_per_entry:int ->
+  capacity:int ->
+  t
+
+val attach :
+  Heap.t -> region_slot:int -> capacity_slot:int -> words_per_entry:int -> t
+
+val append_durable : t -> int list -> unit
+(** Append one entry ([words_per_entry] words) and persist entry + count
+    with a barrier.  Grows the region when full. *)
+
+val truncate_durable : t -> unit
+(** Persist a zero count with one barrier (the undo commit marker). *)
+
+val count : t -> int
+
+val entry : t -> int -> int list
+(** Entry [i], 0-based, oldest first. *)
+
+val footprint : t -> int

@@ -1,0 +1,98 @@
+(** Kamino-Tx upper-bound model (Section 7.1.2).
+
+    Kamino-Tx keeps a full backup copy of the data and updates in place;
+    before each main-copy update it must persist the {e address} of the
+    write intent (so recovery knows which cells to re-copy from the
+    backup), paying a flush + fence per update — "Kamino-Tx does not avoid
+    the fences for ensuring address persistence" (Section 8).  Data
+    persistence is asynchronous via the backup.
+
+    Following the paper's methodology, the main-to-backup copying is
+    omitted, which makes this an upper bound on Kamino-Tx performance —
+    and means this port cannot actually recover ([supports_recovery =
+    false]); it participates in the performance figures only. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type t = {
+  heap : Heap.t;
+  pm : Pmem.t;
+  log : Intent_log.t;
+  ws : Write_set.t;
+  mutable frees : Addr.t list;
+      (* transactional frees deferred to commit: an uncommitted free must
+         never become durable, or recovery could revive a pointer into a
+         reallocated block *)
+  mutable in_tx : bool;
+}
+
+let tx_write t a v =
+  let old_value = Pmem.load_int t.pm a in
+  let _, first = Write_set.record t.ws a ~old_value in
+  if first then Intent_log.append_durable t.log [ a ];
+  Pmem.store_int t.pm a v
+
+(* Commit: clear the intent list with one barrier.  No data flushes — the
+   backup copy (omitted) would absorb them off the critical path. *)
+let commit t =
+  Intent_log.truncate_durable t.log;
+  List.iter (fun a -> Heap.free t.heap a) (List.rev t.frees);
+  t.frees <- [];
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+let rollback t =
+  Write_set.iter_newest_first t.ws (fun a slot ->
+      Pmem.store_int t.pm a slot.Write_set.old_value);
+  Intent_log.truncate_durable t.log;
+  t.frees <- [];
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+let run_tx t f =
+  if t.in_tx then invalid_arg "Kamino: nested transaction";
+  t.in_tx <- true;
+  let ctx =
+    {
+      Ctx.read = (fun a -> Pmem.load_int t.pm a);
+      write = (fun a v -> tx_write t a v);
+      alloc = (fun n -> Heap.alloc t.heap n);
+      free = (fun a -> t.frees <- a :: t.frees);
+    }
+  in
+  match f ctx with
+  | v ->
+      commit t;
+      v
+  | exception Ctx.Abort ->
+      rollback t;
+      raise Ctx.Abort
+
+let create heap =
+  let t =
+    {
+      heap;
+      pm = Heap.pmem heap;
+      log =
+        Intent_log.create heap ~region_slot:Slots.kamino_region
+          ~capacity_slot:Slots.kamino_capacity ~words_per_entry:1
+          ~capacity:1024;
+      ws = Write_set.create ();
+      frees = [];
+      in_tx = false;
+    }
+  in
+  {
+    Ctx.name = "Kamino-Tx";
+    run_tx = (fun f -> run_tx t f);
+    recover =
+      (fun () ->
+        invalid_arg
+          "Kamino-Tx upper-bound model omits the backup copy and cannot \
+           recover (paper Section 7.1.2)");
+    drain = (fun () -> ());
+    log_footprint = (fun () -> Intent_log.footprint t.log);
+    supports_recovery = false;
+  }

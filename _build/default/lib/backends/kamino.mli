@@ -1,0 +1,11 @@
+(** Kamino-Tx upper-bound model (paper Section 7.1.2): in-place updates
+    with a persisted {e address} log (flush + fence per first update) and
+    asynchronous data persistence through a backup copy.  Following the
+    paper's methodology the backup copying is omitted, making this an
+    upper bound that cannot actually recover
+    ([supports_recovery = false]). *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+val create : Heap.t -> Ctx.backend

@@ -1,0 +1,113 @@
+(** PMDK-style undo-logging transactions — the paper's baseline
+    (Section 7.1.2).
+
+    Before the first in-place update of each cell, the old value is
+    appended to the undo log and persisted with a flush + fence (Figure 2,
+    left: "log old a & flush log", "a fence after each log").  Commit
+    flushes every updated data line, fences, then truncates the log with a
+    second barrier — committed data must be durable before the undo images
+    are discarded.  Recovery rolls uncommitted updates back, newest
+    first. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type t = {
+  heap : Heap.t;
+  pm : Pmem.t;
+  log : Intent_log.t;
+  ws : Write_set.t;
+  mutable frees : Addr.t list;
+      (* transactional frees deferred to commit: an uncommitted free must
+         never become durable, or recovery could revive a pointer into a
+         reallocated block *)
+  mutable in_tx : bool;
+}
+
+let tx_write t a v =
+  let old_value = Pmem.load_int t.pm a in
+  let _, first = Write_set.record t.ws a ~old_value in
+  if first then Intent_log.append_durable t.log [ a; old_value ];
+  Pmem.store_int t.pm a v
+
+let commit t =
+  Write_set.iter_in_order t.ws (fun a _ -> Pmem.clwb t.pm a);
+  Pmem.sfence t.pm;
+  Intent_log.truncate_durable t.log;
+  List.iter (fun a -> Heap.free t.heap a) (List.rev t.frees);
+  t.frees <- [];
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+let rollback t =
+  Write_set.iter_newest_first t.ws (fun a slot ->
+      Pmem.store_int t.pm a slot.Write_set.old_value;
+      Pmem.clwb t.pm a);
+  Pmem.sfence t.pm;
+  Intent_log.truncate_durable t.log;
+  t.frees <- [];
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+let run_tx t f =
+  if t.in_tx then invalid_arg "Pmdk_undo: nested transaction";
+  t.in_tx <- true;
+  let ctx =
+    {
+      Ctx.read = (fun a -> Pmem.load_int t.pm a);
+      write = (fun a v -> tx_write t a v);
+      alloc = (fun n -> Heap.alloc t.heap n);
+      free = (fun a -> t.frees <- a :: t.frees);
+    }
+  in
+  match f ctx with
+  | v ->
+      commit t;
+      v
+  | exception Ctx.Abort ->
+      rollback t;
+      raise Ctx.Abort
+
+let recover t =
+  Heap.recover t.heap;
+  let log =
+    Intent_log.attach t.heap ~region_slot:Slots.pmdk_region
+      ~capacity_slot:Slots.pmdk_capacity ~words_per_entry:2
+  in
+  let n = Intent_log.count log in
+  for i = n - 1 downto 0 do
+    match Intent_log.entry log i with
+    | [ a; old_value ] ->
+        Pmem.store_int t.pm a old_value;
+        Pmem.clwb t.pm a
+    | _ -> assert false
+  done;
+  Pmem.sfence t.pm;
+  Intent_log.truncate_durable log;
+  t.frees <- [] (* deferred frees of a crashed transaction are dead *);
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+let create heap =
+  let t =
+    {
+      heap;
+      pm = Heap.pmem heap;
+      log =
+        Intent_log.create heap ~region_slot:Slots.pmdk_region
+          ~capacity_slot:Slots.pmdk_capacity ~words_per_entry:2
+          ~capacity:1024;
+      ws = Write_set.create ();
+      frees = [];
+      in_tx = false;
+    }
+  in
+  {
+    Ctx.name = "PMDK";
+    run_tx = (fun f -> run_tx t f);
+    recover = (fun () -> recover t);
+    drain = (fun () -> ());
+    log_footprint = (fun () -> Intent_log.footprint t.log);
+    supports_recovery = true;
+  }

@@ -1,0 +1,11 @@
+(** PMDK-style undo-logging transactions — the paper's software baseline.
+
+    Every first update of a cell persists an undo entry with a flush +
+    fence before the in-place store (Figure 2, left); commit flushes the
+    write set, fences, and truncates the log with a second barrier.
+    Recovery rolls uncommitted updates back, newest first. *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+val create : Heap.t -> Ctx.backend

@@ -1,0 +1,27 @@
+(** No-transaction baseline: plain in-place updates with no logging, no
+    flushes and no fences.  Not crash consistent — this is the "versions
+    without persistent memory transactions" that Figure 1 measures
+    overhead against. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+let create heap =
+  let pm = Heap.pmem heap in
+  let ctx =
+    {
+      Ctx.read = (fun a -> Pmem.load_int pm a);
+      write = (fun a v -> Pmem.store_int pm a v);
+      alloc = (fun n -> Heap.alloc heap n);
+      free = (fun a -> Heap.free heap a);
+    }
+  in
+  {
+    Ctx.name = "raw";
+    run_tx = (fun f -> f ctx);
+    recover = (fun () -> invalid_arg "raw baseline is not crash consistent");
+    drain = (fun () -> ());
+    log_footprint = (fun () -> 0);
+    supports_recovery = false;
+  }

@@ -1,0 +1,8 @@
+(** No-transaction baseline: plain in-place updates, no logging, flushes
+    or fences — the "versions without persistent memory transactions" that
+    Figure 1 measures overhead against.  Not crash consistent. *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+val create : Heap.t -> Ctx.backend

@@ -1,0 +1,28 @@
+open Specpmt_txn
+
+type kind = Raw | Pmdk | Kamino | Spht | Spec_dp | Spec | Hashlog
+
+let all = [ Raw; Pmdk; Kamino; Spht; Spec_dp; Spec; Hashlog ]
+
+let name = function
+  | Raw -> "raw"
+  | Pmdk -> "PMDK"
+  | Kamino -> "Kamino-Tx"
+  | Spht -> "SPHT"
+  | Spec_dp -> "SpecSPMT-DP"
+  | Spec -> "SpecSPMT"
+  | Hashlog -> "Spec-hashlog"
+
+let of_name s =
+  List.find_opt (fun k -> String.lowercase_ascii (name k) = String.lowercase_ascii s) all
+
+let create heap = function
+  | Raw -> Raw.create heap
+  | Pmdk -> Pmdk_undo.create heap
+  | Kamino -> Kamino.create heap
+  | Spht -> Spht.create heap
+  | Spec_dp -> fst (Spec_soft.create heap Spec_soft.dp_params)
+  | Spec -> fst (Spec_soft.create heap Spec_soft.default_params)
+  | Hashlog -> Spec_hashlog.create heap
+
+let _ = Ctx.raw_ctx (* re-exported convenience, keep the dep explicit *)

@@ -1,0 +1,22 @@
+(** Construction of the software transaction schemes by name. *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type kind =
+  | Raw  (** no crash consistency (Figure 1 baseline) *)
+  | Pmdk  (** undo logging, the paper's software baseline *)
+  | Kamino  (** Kamino-Tx upper bound *)
+  | Spht  (** redo logging + background replayer *)
+  | Spec_dp  (** software SpecPMT with forced data persistence *)
+  | Spec  (** software SpecPMT *)
+  | Hashlog  (** hash-table speculative log (Section 4 ablation) *)
+
+val all : kind list
+(** In presentation order of Figure 12 (plus the ablations). *)
+
+val name : kind -> string
+val of_name : string -> kind option
+
+val create : Heap.t -> kind -> Ctx.backend
+(** Instantiate a scheme on a freshly formatted pool. *)

@@ -1,0 +1,22 @@
+(** Root-slot assignments for the software backends.
+
+    Slots 0–7 of the pool root area belong to applications; the rest are
+    claimed here so that two backends never collide on the same device. *)
+
+let app_first = 0
+let app_last = 7
+let pmdk_region = 8
+let pmdk_capacity = 9
+let kamino_region = 10
+let kamino_capacity = 11
+let spht_head = 12
+let spht_marker = 13
+let spec_head = 14
+let hashlog_table = 15
+
+(* per-thread speculative log heads for the multi-threaded runtime *)
+let spec_mt_head i =
+  if i < 0 || i > 2 then invalid_arg "Slots.spec_mt_head";
+  18 + i
+let hashlog_committed_ts = 16
+let hashlog_capacity = 17

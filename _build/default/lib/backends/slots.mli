@@ -1,0 +1,19 @@
+(** Root-slot assignments of the software backends (slots 0-7 belong to
+    applications). *)
+
+val app_first : int
+val app_last : int
+val pmdk_region : int
+val pmdk_capacity : int
+val kamino_region : int
+val kamino_capacity : int
+val spht_head : int
+val spht_marker : int
+val spec_head : int
+val hashlog_table : int
+val hashlog_committed_ts : int
+val hashlog_capacity : int
+
+val spec_mt_head : int -> int
+(** Per-thread speculative log heads of the multi-threaded runtime
+    (0..2). *)

@@ -1,0 +1,67 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type t = {
+  heap : Heap.t;
+  pm : Pmem.t;
+  params : Spec_soft.params;
+  tsc : Tsc.t;
+  backends : Ctx.backend array;
+  runtimes : Spec_soft.t array;
+}
+
+let head_slot i = Slots.spec_mt_head i
+
+let create ?(params = Spec_soft.default_params) heap ~threads =
+  if threads < 1 || threads > 3 then
+    invalid_arg "Spec_mt.create: 1-3 threads";
+  let tsc = Tsc.create () in
+  let pairs =
+    Array.init threads (fun i ->
+        Spec_soft.create ~head_slot:(head_slot i) ~tsc heap params)
+  in
+  {
+    heap;
+    pm = Heap.pmem heap;
+    params;
+    tsc;
+    backends = Array.map fst pairs;
+    runtimes = Array.map snd pairs;
+  }
+
+let thread t i = t.backends.(i)
+let threads t = Array.length t.backends
+
+(* Recovery (Sections 4.1 and 5.2.2): collect the valid records of every
+   thread's log, sort globally by commit timestamp, replay in that order.
+   Within one thread the scan order and the timestamp order agree; across
+   threads only the timestamps order the effects. *)
+let recover t =
+  Heap.recover t.heap;
+  let records = ref [] in
+  let max_ts = ref 0 in
+  Array.iteri
+    (fun i _ ->
+      ignore
+        (Log_arena.recover_scan t.pm ~head_slot:(head_slot i)
+           ~block_bytes:t.params.Spec_soft.block_bytes
+           ~f:(fun ~ts entries ->
+             if ts > !max_ts then max_ts := ts;
+             records := (ts, entries) :: !records)))
+    t.runtimes;
+  let ordered = List.sort (fun (a, _) (b, _) -> compare a b) !records in
+  let touched = Hashtbl.create 256 in
+  List.iter
+    (fun (_, entries) ->
+      Array.iter
+        (fun (a, v) ->
+          Pmem.store_int t.pm a v;
+          Hashtbl.replace touched a ())
+        entries)
+    ordered;
+  Hashtbl.iter (fun a () -> Pmem.clwb t.pm a) touched;
+  Pmem.sfence t.pm;
+  Tsc.restart_above t.tsc !max_ts;
+  (* reattach every thread's arena after the data replay *)
+  Array.iter Spec_soft.reattach t.runtimes

@@ -1,0 +1,29 @@
+(** Multi-threaded software SpecPMT (paper Section 4.1, multi-threaded
+    case).
+
+    Each simulated thread owns a private chained log ("each thread manages
+    its own log without consulting with other threads") and a per-thread
+    {!Specpmt_backends.Spec_soft} runtime; they share the pool and a
+    logical timestamp counter — the stand-in for [rdtscp].  Recovery scans
+    {e every} thread's log and replays all records in global timestamp
+    order, exactly as Section 5.2.2 prescribes.
+
+    Threads here are deterministic interleavings (the test harness runs
+    one transaction at a time); concurrency control is the application's
+    job in the paper too (Section 4.3.3). *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type t
+
+val create : ?params:Spec_soft.params -> Heap.t -> threads:int -> t
+(** Up to 3 threads (limited by reserved root slots). *)
+
+val thread : t -> int -> Ctx.backend
+(** The transactional interface of one thread. *)
+
+val threads : t -> int
+
+val recover : t -> unit
+(** Post-crash recovery across all thread logs, merged by timestamp. *)

@@ -1,0 +1,240 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type params = {
+  data_persist : bool;
+  block_bytes : int;
+  reclaim_threshold : int;
+}
+
+let default_params =
+  { data_persist = false; block_bytes = 4096; reclaim_threshold = 1 lsl 20 }
+
+let dp_params = { default_params with data_persist = true }
+
+type t = {
+  heap : Heap.t;
+  pm : Pmem.t;
+  params : params;
+  head_slot : int;
+  tsc : Tsc.t;
+  ws : Write_set.t;
+  mutable frees : Addr.t list;
+      (* transactional frees deferred to commit: an uncommitted free must
+         never become durable, or recovery could revive a pointer into a
+         reallocated block *)
+  mutable arena : Log_arena.t;
+  mutable in_tx : bool;
+  mutable reclaims : int;
+  mutable last_compact_footprint : int;
+      (* growth-based trigger: reclaiming again before the log has grown
+         past twice the last compacted size would make reclamation cost
+         quadratic when the live set itself exceeds the threshold *)
+}
+
+(* Background reclamation (Section 4.2): runs on a dedicated core in the
+   paper, so its memory operations are unmetered here and an estimated
+   cost is charged to the background ledger instead. *)
+let reclaim t =
+  let stats =
+    Pmem.with_unmetered t.pm (fun () -> Log_arena.compact t.arena)
+  in
+  t.reclaims <- t.reclaims + 1;
+  let scan_ns = float_of_int stats.Log_arena.entries_scanned *. 6.0 in
+  let copy_ns = float_of_int stats.Log_arena.entries_live *. 30.0 in
+  Pmem.charge_bg_ns t.pm (scan_ns +. copy_ns);
+  stats
+
+let reclaim_now t = reclaim t
+let reclaim_count t = t.reclaims
+
+let maybe_reclaim t =
+  let foot = Log_arena.footprint t.arena in
+  if
+    foot > t.params.reclaim_threshold
+    && foot > 2 * t.last_compact_footprint
+  then begin
+    ignore (reclaim t);
+    t.last_compact_footprint <- Log_arena.footprint t.arena
+  end
+
+let tx_write t a v =
+  let slot, first = Write_set.record t.ws a ~old_value:(Pmem.load_int t.pm a) in
+  if first then
+    slot.Write_set.entry_pos <-
+      Log_arena.add_entry t.arena ~target:a ~value:v
+  else Log_arena.set_entry_value t.arena slot.Write_set.entry_pos v;
+  Pmem.store_int t.pm a v
+
+let commit t =
+  (* a read-only transaction has nothing to persist and must not emit a
+     zero-entry record (it would read as the end-of-log sentinel) *)
+  if Log_arena.entry_words t.arena = 0 then Log_arena.abandon_record t.arena
+  else begin
+    let ts = Tsc.next t.tsc in
+    Log_arena.commit_record t.arena ~timestamp:ts
+  end;
+  if t.params.data_persist then begin
+    (* SpecSPMT-DP: also force the in-place updates into the persistence
+       domain before returning (what vanilla SpecPMT deliberately skips) *)
+    Write_set.iter_in_order t.ws (fun a _ -> Pmem.clwb t.pm a);
+    Pmem.sfence t.pm
+  end;
+  List.iter (fun a -> Heap.free t.heap a) (List.rev t.frees);
+  t.frees <- [];
+  Write_set.clear t.ws;
+  t.in_tx <- false;
+  maybe_reclaim t
+
+(* Abort: restore the in-place (still volatile) updates from the write
+   set, freshen the log entries to the restored values, and commit the
+   record — the log then describes exactly the post-rollback state, which
+   keeps the "every datum has a fresh committed record" invariant. *)
+let rollback t =
+  Write_set.iter_newest_first t.ws (fun a slot ->
+      Pmem.store_int t.pm a slot.Write_set.old_value;
+      Log_arena.set_entry_value t.arena slot.Write_set.entry_pos
+        slot.Write_set.old_value);
+  if Log_arena.entry_words t.arena = 0 then Log_arena.abandon_record t.arena
+  else begin
+    let ts = Tsc.next t.tsc in
+    Log_arena.commit_record t.arena ~timestamp:ts
+  end;
+  t.frees <- [];
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+let run_tx t f =
+  if t.in_tx then invalid_arg "Spec_soft: nested transaction";
+  t.in_tx <- true;
+  Log_arena.begin_record t.arena;
+  let ctx =
+    {
+      Ctx.read = (fun a -> Pmem.load_int t.pm a);
+      write = (fun a v -> tx_write t a v);
+      alloc = (fun n -> Heap.alloc t.heap n);
+      free = (fun a -> t.frees <- a :: t.frees);
+    }
+  in
+  match f ctx with
+  | v ->
+      commit t;
+      v
+  | exception Ctx.Abort ->
+      rollback t;
+      raise Ctx.Abort
+
+(* Recovery (Section 3.1): replay the valid record prefix oldest-first.
+   Stale entries are later overwritten by fresher ones; the torn record of
+   an interrupted transaction fails its checksum and ends the scan. *)
+let replay ?(head_slot = Slots.spec_head) pm ~block_bytes =
+  let restored = Hashtbl.create 256 in
+  let max_ts =
+    Log_arena.recover_scan pm ~head_slot ~block_bytes
+      ~f:(fun ~ts:_ entries ->
+        Array.iter
+          (fun (a, v) ->
+            Pmem.store_int pm a v;
+            Hashtbl.replace restored a v)
+          entries)
+  in
+  Hashtbl.iter (fun a _ -> Pmem.clwb pm a) restored;
+  Pmem.sfence pm;
+  (restored, max_ts)
+
+let recover_standalone pm ~block_bytes = fst (replay pm ~block_bytes)
+
+let recover t =
+  (* replay first: the heap walk must see the restored image *)
+  let _, max_ts =
+    replay ~head_slot:t.head_slot t.pm ~block_bytes:t.params.block_bytes
+  in
+  Heap.recover t.heap;
+  Tsc.restart_above t.tsc max_ts;
+  t.arena <-
+    Log_arena.attach t.heap ~head_slot:t.head_slot
+      ~block_bytes:t.params.block_bytes;
+  t.frees <- [] (* deferred frees of a crashed transaction are dead *);
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+(* Reattach the arena after an external replay — the multi-threaded
+   runtime replays all threads' logs in global timestamp order before
+   reattaching each thread (Section 5.2.2). *)
+let reattach t =
+  t.arena <-
+    Log_arena.attach t.heap ~head_slot:t.head_slot
+      ~block_bytes:t.params.block_bytes;
+  t.frees <- [];
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+let snapshot_region t addr len =
+  assert (Addr.is_word_aligned addr && len mod 8 = 0);
+  let backend_ctx_write = tx_write t in
+  if t.in_tx then invalid_arg "Spec_soft.snapshot_region: open transaction";
+  t.in_tx <- true;
+  Log_arena.begin_record t.arena;
+  for i = 0 to (len / 8) - 1 do
+    let a = addr + (i * 8) in
+    backend_ctx_write a (Pmem.load_int t.pm a)
+  done;
+  commit t
+
+(* Switching crash-consistency mechanisms (Section 4.3.1): because
+   SpecPMT uses in-place updates, leaving speculative logging only
+   requires persisting the dirty durable data at the transition point —
+   here by selective flushing of every cell the live log covers (the
+   "software analysis of record indices and clwbs" option).  Once done,
+   the speculative log is no longer needed and is emptied, and any other
+   mechanism (undo, redo...) may run on the same pool from then on. *)
+let switch_out t =
+  if t.in_tx then invalid_arg "Spec_soft.switch_out: open transaction";
+  (* 1: persist every datum with a live record *)
+  let touched = Hashtbl.create 256 in
+  ignore
+    (Log_arena.recover_scan t.pm ~head_slot:t.head_slot
+       ~block_bytes:t.params.block_bytes ~f:(fun ~ts:_ entries ->
+         Array.iter (fun (a, _) -> Hashtbl.replace touched a ()) entries));
+  Hashtbl.iter (fun a () -> Pmem.clwb t.pm a) touched;
+  Pmem.sfence t.pm;
+  (* 2: the log is now dead weight; free every sealed block.  The head
+     switch persists before old blocks are recycled, and any records left
+     in the tail block replay values that are already durable — harmless
+     either way. *)
+  ignore
+    (Log_arena.drop_prefix t.arena
+       ~keep_from:(Log_arena.current_block t.arena));
+  Hashtbl.length touched
+
+let create ?(head_slot = Slots.spec_head) ?tsc heap params =
+  let pm = Heap.pmem heap in
+  let t =
+    {
+      heap;
+      pm;
+      params;
+      head_slot;
+      tsc = (match tsc with Some c -> c | None -> Tsc.create ());
+      ws = Write_set.create ();
+      frees = [];
+      arena =
+        Log_arena.create heap ~head_slot
+          ~block_bytes:params.block_bytes;
+      in_tx = false;
+      reclaims = 0;
+      last_compact_footprint = params.block_bytes;
+    }
+  in
+  let backend =
+    {
+      Ctx.name = (if params.data_persist then "SpecSPMT-DP" else "SpecSPMT");
+      run_tx = (fun f -> run_tx t f);
+      recover = (fun () -> recover t);
+      drain = (fun () -> ());
+      log_footprint = (fun () -> Log_arena.footprint t.arena);
+      supports_recovery = true;
+    }
+  in
+  (backend, t)

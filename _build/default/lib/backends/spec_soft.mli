@@ -1,0 +1,78 @@
+(** Software SpecPMT — the paper's software-only speculative-logging
+    transaction runtime (Sections 3 and 4).
+
+    Inside a transaction every durable store is applied in place and
+    speculatively logged ([splog]) with plain stores into the per-thread
+    chained log ({!Specpmt_txn.Log_arena}); repeated stores to a cell
+    freshen its single log entry in place (write-set indexing).  Commit
+    persists the whole record with one flush run and a {e single} fence —
+    no fence per update, and (unless [data_persist] is set) {e no data
+    flushes at all}: after commit the record doubles as a redo log, so
+    in-place data may drain to the media lazily.
+
+    Recovery (Section 3.1) discards the torn record of an interrupted
+    transaction via the checksum commit marker and replays the remaining
+    records oldest-to-newest: stale records are overwritten by fresher
+    ones, uncommitted in-place updates that leaked to the media are
+    revoked, and committed updates that never drained are rebuilt.
+
+    Background reclamation (Section 4.2) compacts the log when its
+    footprint passes a threshold; its cost is charged to the background
+    ledger, never the foreground critical path. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type params = {
+  data_persist : bool;
+      (** force data flushes + a second fence at commit — the paper's
+          suboptimal SpecSPMT-DP used to isolate the gain of removing data
+          persistence *)
+  block_bytes : int;  (** log-block size (default 4096) *)
+  reclaim_threshold : int;
+      (** trigger background reclamation when the log footprint exceeds
+          this many bytes *)
+}
+
+val default_params : params
+val dp_params : params
+
+type t
+
+val create :
+  ?head_slot:int -> ?tsc:Specpmt_txn.Tsc.t -> Heap.t -> params -> Ctx.backend * t
+(** Fresh runtime on a formatted pool.  [head_slot] selects the root slot
+    of this thread's log head; [tsc] shares a timestamp counter between
+    the per-thread runtimes of a multi-threaded pool (the stand-in for
+    rdtscp, Section 4.1). *)
+
+val snapshot_region : t -> Addr.t -> int -> unit
+(** Crash-consistent adoption of external data (Section 4.3.2): one
+    committed transaction that logs the current value of every 8-byte cell
+    of the range, without modifying it.  Until a datum has been logged at
+    least once, speculative logging cannot revoke an uncommitted update to
+    it. *)
+
+val switch_out : t -> int
+(** Leave speculative logging (Section 4.3.1): selectively flush every
+    cell the live log covers, fence once, and reset the log — after this
+    another crash-consistency mechanism (e.g. the PMDK backend) can run on
+    the same pool.  Returns the number of cells persisted.  Must be called
+    between transactions. *)
+
+val reclaim_now : t -> Log_arena.compact_stats
+(** Explicit reclamation trigger (the paper's API-triggered mode). *)
+
+val reclaim_count : t -> int
+(** Number of reclamation cycles run so far. *)
+
+val reattach : t -> unit
+(** Reattach the runtime to its log after an external replay (used by the
+    multi-threaded recovery, which replays all threads' logs in global
+    timestamp order first). *)
+
+val recover_standalone :
+  Pmem.t -> block_bytes:int -> (Addr.t, int) Hashtbl.t
+(** Pure recovery routine: replay the valid log prefix on a crashed device
+    and return the map of restored cells.  Exposed for recovery tests. *)

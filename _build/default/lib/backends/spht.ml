@@ -1,0 +1,167 @@
+(** SPHT-style redo-logging transactions (Section 7.1.2).
+
+    SPHT works on a volatile snapshot of the data (here: the in-place but
+    still volatile cache copies), buffers write intents, and at commit
+    persists one redo record sequentially plus a commit/link marker — a
+    flush run and two fences on the critical path, no per-update fences,
+    no data flushes.  A background replayer applies committed records to
+    the persistent data and prunes the log (forward-linking version with
+    one replayer thread, as evaluated in the paper).
+
+    Recovery replays committed redo records oldest-first — shares the
+    chained log arena and its checksum commit marker. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type t = {
+  heap : Heap.t;
+  pm : Pmem.t;
+  tsc : Tsc.t;
+  ws : Write_set.t;
+  tx_buffer : (Addr.t, int) Hashtbl.t;
+      (* SPHT works on a volatile snapshot: uncommitted writes must not
+         reach the persistent home locations — a crash could leak them
+         past the pruned log with nothing to revoke them *)
+  mutable frees : Addr.t list;
+      (* transactional frees deferred to commit: an uncommitted free must
+         never become durable, or recovery could revive a pointer into a
+         reallocated block *)
+  mutable arena : Log_arena.t;
+  mutable in_tx : bool;
+  mutable pending : (Addr.t * int) list list; (* committed, not yet replayed *)
+  mutable pending_entries : int;
+  replay_batch : int;
+}
+
+(* Background replayer: persists the data updates of committed records and
+   compacts the log.  Unmetered; estimated cost goes to the background
+   ledger (a dedicated replayer core in the paper). *)
+let replay t =
+  let n = t.pending_entries in
+  if n > 0 then begin
+    Pmem.with_unmetered t.pm (fun () ->
+        List.iter
+          (fun entries ->
+            List.iter
+              (fun (a, _v) -> Pmem.clwb t.pm a)
+              entries)
+          t.pending;
+        Pmem.sfence t.pm;
+        ignore (Log_arena.compact t.arena));
+    (* per-entry flush plus its share of the log-prune scan *)
+    Pmem.charge_bg_ns t.pm (float_of_int n *. 520.0);
+    t.pending <- [];
+    t.pending_entries <- 0
+  end
+
+let tx_read t a =
+  match Hashtbl.find_opt t.tx_buffer a with
+  | Some v -> v
+  | None -> Pmem.load_int t.pm a
+
+let tx_write t a v =
+  let old_value = tx_read t a in
+  ignore (Write_set.record t.ws a ~old_value);
+  Hashtbl.replace t.tx_buffer a v
+
+let commit t =
+  (* apply the snapshot to the home locations (volatile stores; the
+     background replayer persists them) *)
+  Hashtbl.iter (fun a v -> Pmem.store_int t.pm a v) t.tx_buffer;
+  Hashtbl.reset t.tx_buffer;
+  if Write_set.size t.ws > 0 then begin
+    let ts = Tsc.next t.tsc in
+    Log_arena.begin_record t.arena;
+    let entries = ref [] in
+    Write_set.iter_in_order t.ws (fun a _ ->
+        let v = Pmem.load_int t.pm a in
+        ignore (Log_arena.add_entry t.arena ~target:a ~value:v);
+        entries := (a, v) :: !entries);
+    Log_arena.commit_record t.arena ~timestamp:ts;
+    (* forward-link / commit marker with its own barrier (fence #2) *)
+    let marker = Heap.root_slot t.heap Slots.spht_marker in
+    Pmem.store_int t.pm marker ts;
+    Pmem.clwb t.pm marker;
+    Pmem.sfence t.pm;
+    t.pending <- !entries :: t.pending;
+    t.pending_entries <- t.pending_entries + List.length !entries
+  end;
+  List.iter (fun a -> Heap.free t.heap a) (List.rev t.frees);
+  t.frees <- [];
+  Write_set.clear t.ws;
+  t.in_tx <- false;
+  if t.pending_entries >= t.replay_batch then replay t
+
+let rollback t =
+  Hashtbl.reset t.tx_buffer;
+  t.frees <- [];
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+let run_tx t f =
+  if t.in_tx then invalid_arg "Spht: nested transaction";
+  t.in_tx <- true;
+  let ctx =
+    {
+      Ctx.read = (fun a -> tx_read t a);
+      write = (fun a v -> tx_write t a v);
+      alloc = (fun n -> Heap.alloc t.heap n);
+      free = (fun a -> t.frees <- a :: t.frees);
+    }
+  in
+  match f ctx with
+  | v ->
+      commit t;
+      v
+  | exception Ctx.Abort ->
+      rollback t;
+      raise Ctx.Abort
+
+let recover t =
+  Heap.recover t.heap;
+  let touched = Hashtbl.create 256 in
+  let max_ts =
+    Log_arena.recover_scan t.pm ~head_slot:Slots.spht_head ~block_bytes:4096
+      ~f:(fun ~ts:_ entries ->
+        Array.iter
+          (fun (a, v) ->
+            Pmem.store_int t.pm a v;
+            Hashtbl.replace touched a ())
+          entries)
+  in
+  Hashtbl.iter (fun a () -> Pmem.clwb t.pm a) touched;
+  Pmem.sfence t.pm;
+  Tsc.restart_above t.tsc max_ts;
+  t.arena <- Log_arena.attach t.heap ~head_slot:Slots.spht_head ~block_bytes:4096;
+  t.pending <- [];
+  t.pending_entries <- 0;
+  t.frees <- [] (* deferred frees of a crashed transaction are dead *);
+  Write_set.clear t.ws;
+  t.in_tx <- false
+
+let create heap =
+  let t =
+    {
+      heap;
+      pm = Heap.pmem heap;
+      tsc = Tsc.create ();
+      ws = Write_set.create ();
+      tx_buffer = Hashtbl.create 64;
+      frees = [];
+      arena = Log_arena.create heap ~head_slot:Slots.spht_head ~block_bytes:4096;
+      in_tx = false;
+      pending = [];
+      pending_entries = 0;
+      replay_batch = 4096;
+    }
+  in
+  {
+    Ctx.name = "SPHT";
+    run_tx = (fun f -> run_tx t f);
+    recover = (fun () -> recover t);
+    drain = (fun () -> replay t);
+    log_footprint = (fun () -> Log_arena.footprint t.arena);
+    supports_recovery = true;
+  }

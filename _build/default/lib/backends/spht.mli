@@ -1,0 +1,10 @@
+(** SPHT-style redo-logging transactions (paper Section 7.1.2): write
+    intents are buffered (volatile snapshot semantics), persisted as one
+    sequential redo record plus a commit marker at commit (two fences, no
+    per-update fences, no data flushes), and applied to the persistent
+    home locations by a background replayer that also prunes the log. *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+val create : Heap.t -> Ctx.backend

@@ -1,0 +1,128 @@
+(** SpecPMT — speculatively persistent memory transactions.
+
+    The public facade of the library: a reproduction of "SpecPMT:
+    Speculative Logging for Resolving Crash Consistency Overhead of
+    Persistent Memory" (ASPLOS 2023).
+
+    {2 Quick start}
+
+    {[
+      let pm = Specpmt.Pmem.create Specpmt.Pmem_config.default in
+      let heap = Specpmt.Heap.create pm in
+      let tx = Specpmt.create_scheme heap "SpecSPMT" in
+      tx.run_tx (fun ctx -> ctx.write addr 42);
+      (* ... crash ... *)
+      tx.recover ()
+    ]}
+
+    Sub-libraries re-exported here:
+    - {!Pmem}: the persistent-memory device model,
+    - {!Heap}: the persistent allocator,
+    - {!Ctx}: the transactional interface every scheme implements,
+    - {!Schemes}: software schemes (PMDK, Kamino-Tx, SPHT, SpecSPMT...),
+    - {!Hw_schemes}: simulated-hardware schemes (EDE, HOOP, SpecHPMT...),
+    - {!Workload}: the STAMP port,
+    - {!Run}: the measurement harness behind all figures. *)
+
+module Pmem = Specpmt_pmem.Pmem
+module Pmem_config = Specpmt_pmem.Config
+module Stats = Specpmt_pmem.Stats
+module Addr = Specpmt_pmem.Addr
+module Heap = Specpmt_pmalloc.Heap
+module Ctx = Specpmt_txn.Ctx
+module Log_arena = Specpmt_txn.Log_arena
+module Checksum = Specpmt_txn.Checksum
+module Schemes = Specpmt_backends.Registry
+module Spec_soft = Specpmt_backends.Spec_soft
+module Spec_mt = Specpmt_backends.Spec_mt
+module Hw_schemes = Specpmt_hwtxn.Hw_registry
+module Spec_hw = Specpmt_hwtxn.Spec_hw
+module Epoch_protocol = Specpmt_hwtxn.Epoch_protocol
+module Hwconfig = Specpmt_hwsim.Hwconfig
+module Workload = Specpmt_stamp.Workload
+module Profile = Specpmt_stamp.Profile
+
+(** All scheme names, software then hardware, in figure order. *)
+let scheme_names =
+  List.map Schemes.name Schemes.all
+  @ List.map Hw_schemes.name Hw_schemes.all
+
+(** Instantiate a scheme (software or simulated-hardware) by name on a
+    formatted pool.  Raises [Invalid_argument] on unknown names. *)
+let create_scheme heap name =
+  match Schemes.of_name name with
+  | Some k -> Schemes.create heap k
+  | None -> (
+      match Hw_schemes.of_name name with
+      | Some k -> Hw_schemes.create heap k
+      | None -> Fmt.invalid_arg "unknown scheme %S" name)
+
+module Run = struct
+  (** One workload x scheme measurement — the raw material of every
+      figure in the paper's evaluation. *)
+  type measurement = {
+    scheme : string;
+    workload : string;
+    ns : float;  (** simulated foreground time of the measured phase *)
+    bg_ns : float;  (** simulated background-core time *)
+    fences : int;
+    clwbs : int;
+    pm_write_lines : int;  (** persistent-media write traffic, lines *)
+    pm_read_lines : int;
+    log_bytes : int;  (** log footprint after drain *)
+    checksum : int;  (** final-state digest (backend-independent) *)
+    txs : int;
+    updates : int;
+    avg_tx_bytes : float;
+  }
+
+  let default_mem = 64 * 1024 * 1024
+
+  (** Run [workload] at [scale] under the scheme built by [make] on a
+      fresh pool; setup is excluded from the measured phase; background
+      work is drained inside it. *)
+  let run_custom ?(seed = 1) ?(mem = default_mem) ~make ~name
+      (w : Workload.t) scale =
+    let pm =
+      Pmem.create ~seed { Pmem_config.default with mem_size = mem }
+    in
+    let heap = Heap.create pm in
+    let backend = make heap in
+    let profiled, counters = Profile.wrap backend in
+    let prepared = w.Workload.prepare scale heap profiled in
+    let c0 = Profile.fresh () in
+    c0.Profile.txs <- counters.Profile.txs;
+    c0.Profile.updates <- counters.Profile.updates;
+    c0.Profile.ws_bytes <- counters.Profile.ws_bytes;
+    let before = Stats.copy (Pmem.stats pm) in
+    prepared.Workload.work ();
+    backend.Ctx.drain ();
+    let d = Stats.diff before (Pmem.stats pm) in
+    let checksum =
+      Pmem.with_unmetered pm (fun () -> prepared.Workload.checksum ())
+    in
+    let txs = counters.Profile.txs - c0.Profile.txs in
+    let updates = counters.Profile.updates - c0.Profile.updates in
+    let ws_bytes = counters.Profile.ws_bytes - c0.Profile.ws_bytes in
+    {
+      scheme = name;
+      workload = w.Workload.name;
+      ns = d.Stats.ns;
+      bg_ns = d.Stats.bg_ns;
+      fences = d.Stats.fences;
+      clwbs = d.Stats.clwbs;
+      pm_write_lines = d.Stats.pm_write_lines;
+      pm_read_lines = d.Stats.pm_read_lines;
+      log_bytes = backend.Ctx.log_footprint ();
+      checksum;
+      txs;
+      updates;
+      avg_tx_bytes =
+        (if txs = 0 then 0.0 else float_of_int ws_bytes /. float_of_int txs);
+    }
+
+  let run ?seed ?mem ~scheme (w : Workload.t) scale =
+    run_custom ?seed ?mem
+      ~make:(fun heap -> create_scheme heap scheme)
+      ~name:scheme w scale
+end

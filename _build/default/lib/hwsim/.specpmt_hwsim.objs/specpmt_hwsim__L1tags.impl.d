@@ -1,0 +1,1 @@
+lib/hwsim/l1tags.ml: Addr Hashtbl Queue Specpmt_pmem

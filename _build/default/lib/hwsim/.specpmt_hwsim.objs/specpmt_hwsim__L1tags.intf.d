@@ -1,0 +1,1 @@
+lib/hwsim/l1tags.mli: Addr Specpmt_pmem

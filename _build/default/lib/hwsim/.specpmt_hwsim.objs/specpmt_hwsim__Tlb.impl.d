@@ -1,0 +1,1 @@
+lib/hwsim/tlb.ml: Hashtbl Hwconfig Pmem Queue Specpmt_pmem

@@ -1,0 +1,1 @@
+lib/hwsim/tlb.mli: Hwconfig Specpmt_pmem

@@ -1,0 +1,53 @@
+(** Simulated-hardware parameters (paper Table 1 and Section 5).
+
+    The cores run at 4 GHz; cycle counts are converted to nanoseconds for
+    the shared cost ledger of {!Specpmt_pmem.Pmem}. *)
+
+type t = {
+  l1_tlb_entries : int;  (** private, 64 entries, 8-way *)
+  l2_tlb_entries : int;  (** private, 1536 entries, 12-way *)
+  tlb_l2_hit_ns : float;  (** extra cost of missing L1 TLB but hitting L2 *)
+  tlb_miss_ns : float;  (** page walk on a full TLB miss *)
+  l1_lines : int;  (** L1 data-cache capacity in line tags (512 = 32 KiB) *)
+  hot_threshold : int;
+      (** stores on a cold page before it turns hot: the 3-bit saturating
+          counter's maximum (Section 5.1) *)
+  log_buffer_lines : int;
+      (** HOOP's dedicated on-chip buffer, in cache lines (273 KB/core in
+          the paper; drained to the log when full) *)
+  epoch_max_bytes : int;  (** start a new epoch past this many log bytes *)
+  epoch_max_pages : int;  (** ... or past this many speculatively logged pages *)
+  log_budget_bytes : int;
+      (** reclaim oldest epochs when the speculative log exceeds this *)
+  spec_block_bytes : int;  (** log-block size of the hardware spec log *)
+}
+
+let default =
+  {
+    l1_tlb_entries = 64;
+    l2_tlb_entries = 1536;
+    tlb_l2_hit_ns = 1.75 (* 7 cycles *);
+    tlb_miss_ns = 25.0 (* page walk *);
+    l1_lines = 512;
+    hot_threshold = 7;
+    log_buffer_lines = 4368 (* 273 KB *);
+    epoch_max_bytes = 2 * 1024 * 1024;
+    epoch_max_pages = 200;
+    log_budget_bytes = 8 * 1024 * 1024;
+    spec_block_bytes = 8192;
+  }
+
+(** Shrunk structures for unit tests: tiny TLB and epochs so that the
+    interesting transitions fire quickly. *)
+let small =
+  {
+    default with
+    l1_tlb_entries = 4;
+    l2_tlb_entries = 16;
+    l1_lines = 16;
+    hot_threshold = 3;
+    epoch_max_bytes = 12 * 1024;
+    epoch_max_pages = 4;
+    log_budget_bytes = 64 * 1024;
+    spec_block_bytes = 8192;
+  }

@@ -1,0 +1,24 @@
+(** Simulated-hardware parameters (paper Table 1 and Section 5). *)
+
+type t = {
+  l1_tlb_entries : int;  (** private, 64 entries — hotness is tracked
+                             while L1-TLB resident *)
+  l2_tlb_entries : int;  (** private, 1536 entries *)
+  tlb_l2_hit_ns : float;
+  tlb_miss_ns : float;  (** page walk *)
+  l1_lines : int;  (** L1 data-cache line tags (512 = 32 KiB) *)
+  hot_threshold : int;
+      (** stores on a cold page before it turns hot (the 3-bit saturating
+          counter's maximum, Section 5.1) *)
+  log_buffer_lines : int;  (** HOOP's dedicated on-chip buffer, lines *)
+  epoch_max_bytes : int;  (** start a new epoch past this many log bytes *)
+  epoch_max_pages : int;  (** ... or this many speculatively logged pages *)
+  log_budget_bytes : int;
+      (** reclaim oldest epochs when the speculative log exceeds this *)
+  spec_block_bytes : int;  (** hardware spec-log block size *)
+}
+
+val default : t
+
+val small : t
+(** Shrunk structures so unit tests hit transitions and epochs quickly. *)

@@ -1,0 +1,1 @@
+lib/hwtxn/ede.ml: Addr Ctx Hashtbl Heap Hw_slots List Nt_log Pmem Specpmt_pmalloc Specpmt_pmem Specpmt_txn Write_set

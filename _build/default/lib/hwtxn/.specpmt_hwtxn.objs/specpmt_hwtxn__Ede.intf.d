@@ -1,0 +1,1 @@
+lib/hwtxn/ede.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

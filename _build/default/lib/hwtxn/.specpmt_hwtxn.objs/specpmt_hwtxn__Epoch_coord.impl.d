@@ -1,0 +1,1 @@
+lib/hwtxn/epoch_coord.ml: Epoch_protocol List

@@ -1,0 +1,1 @@
+lib/hwtxn/epoch_protocol.ml: List

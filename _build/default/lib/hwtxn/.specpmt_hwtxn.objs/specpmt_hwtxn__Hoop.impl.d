@@ -1,0 +1,1 @@
+lib/hwtxn/hoop.ml: Addr Array Ctx Hashtbl Heap Hw_slots List Log_arena Pmem Specpmt_pmalloc Specpmt_pmem Specpmt_txn Tsc Write_set

@@ -1,0 +1,1 @@
+lib/hwtxn/hoop.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

@@ -1,0 +1,1 @@
+lib/hwtxn/hw_registry.ml: Ctx Ede Hoop List Nolog Spec_hw Specpmt_txn String

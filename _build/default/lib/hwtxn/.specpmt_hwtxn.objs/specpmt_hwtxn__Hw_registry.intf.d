@@ -1,0 +1,1 @@
+lib/hwtxn/hw_registry.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

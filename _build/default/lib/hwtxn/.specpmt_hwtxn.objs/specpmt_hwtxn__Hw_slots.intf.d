@@ -1,0 +1,1 @@
+lib/hwtxn/hw_slots.mli:

@@ -1,0 +1,1 @@
+lib/hwtxn/nolog.ml: Ctx Heap Pmem Specpmt_pmalloc Specpmt_pmem Specpmt_txn Write_set

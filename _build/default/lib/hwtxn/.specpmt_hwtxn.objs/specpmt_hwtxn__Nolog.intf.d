@@ -1,0 +1,1 @@
+lib/hwtxn/nolog.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

@@ -1,0 +1,1 @@
+lib/hwtxn/nt_log.ml: Addr Bytes Checksum Heap Int64 List Pmem Specpmt_pmalloc Specpmt_pmem Specpmt_txn

@@ -1,0 +1,1 @@
+lib/hwtxn/nt_log.mli: Addr Heap Specpmt_pmalloc Specpmt_pmem

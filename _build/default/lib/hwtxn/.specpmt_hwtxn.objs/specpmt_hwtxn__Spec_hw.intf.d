@@ -1,0 +1,1 @@
+lib/hwtxn/spec_hw.mli: Ctx Epoch_coord Hashtbl Heap Hwconfig Specpmt_hwsim Specpmt_pmalloc Specpmt_txn Tlb

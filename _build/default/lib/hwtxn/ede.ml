@@ -1,0 +1,122 @@
+(** EDE — Execution Dependence Extension (Shull et al., ISCA'21), the
+    paper's hardware baseline (Section 7.1.3).
+
+    In-place updates with hardware undo logging; the ISA-level dependence
+    tracking removes the fences {e between} log and data operations, so an
+    update is: persist the undo entry through the write-pending queue (no
+    fence), then store the data.  Commit persists the write set
+    synchronously (flush every updated line + one drain) and truncates the
+    log.  Log records are coalesced per cache line as much as possible, as
+    the paper's methodology prescribes. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type t = {
+  heap : Heap.t;
+  pm : Pmem.t;
+  mutable log : Nt_log.t;
+  ws : Write_set.t;
+  mutable frees : Addr.t list;
+      (* transactional frees deferred to commit: an uncommitted free must
+         never become durable, or recovery could revive a pointer into a
+         reallocated block *)
+  logged_lines : (Addr.t, unit) Hashtbl.t; (* per-tx line coalescing *)
+  mutable in_tx : bool;
+}
+
+let tx_write t a v =
+  let old_value = Pmem.load_int t.pm a in
+  let _, first = Write_set.record t.ws a ~old_value in
+  (* coalesce: one undo record per word, but skip the whole path when the
+     line has already been logged and the word re-written *)
+  if first then begin
+    Nt_log.append t.log ~addr:a ~old:old_value;
+    Hashtbl.replace t.logged_lines (Addr.line_of a) ()
+  end;
+  Pmem.store_int t.pm a v
+
+let commit t =
+  Write_set.iter_in_order t.ws (fun a _ -> Pmem.clwb t.pm a);
+  Pmem.sfence t.pm;
+  Nt_log.truncate t.log;
+  List.iter (fun a -> Heap.free t.heap a) (List.rev t.frees);
+  t.frees <- [];
+  Write_set.clear t.ws;
+  Hashtbl.reset t.logged_lines;
+  t.in_tx <- false
+
+let rollback t =
+  Write_set.iter_newest_first t.ws (fun a slot ->
+      Pmem.store_int t.pm a slot.Write_set.old_value;
+      Pmem.clwb t.pm a);
+  Pmem.sfence t.pm;
+  Nt_log.truncate t.log;
+  t.frees <- [];
+  Write_set.clear t.ws;
+  Hashtbl.reset t.logged_lines;
+  t.in_tx <- false
+
+let run_tx t f =
+  if t.in_tx then invalid_arg "Ede: nested transaction";
+  t.in_tx <- true;
+  let ctx =
+    {
+      Ctx.read = (fun a -> Pmem.load_int t.pm a);
+      write = (fun a v -> tx_write t a v);
+      alloc = (fun n -> Heap.alloc t.heap n);
+      free = (fun a -> t.frees <- a :: t.frees);
+    }
+  in
+  match f ctx with
+  | v ->
+      commit t;
+      v
+  | exception Ctx.Abort ->
+      rollback t;
+      raise Ctx.Abort
+
+let recover t =
+  Heap.recover t.heap;
+  let log =
+    Nt_log.attach t.heap ~region_slot:Hw_slots.ede_region
+      ~capacity_slot:Hw_slots.ede_capacity
+  in
+  let entries = Nt_log.scan log in
+  List.iter
+    (fun (a, old) ->
+      Pmem.store_int t.pm a old;
+      Pmem.clwb t.pm a)
+    (List.rev entries);
+  Pmem.sfence t.pm;
+  Nt_log.truncate log;
+  (* adopt the reattached log (fresh cached generation and region) *)
+  t.log <- log;
+  t.frees <- [];
+  Write_set.clear t.ws;
+  Hashtbl.reset t.logged_lines;
+  t.in_tx <- false
+
+let create heap =
+  let t =
+    {
+      heap;
+      pm = Heap.pmem heap;
+      log =
+        Nt_log.create heap ~region_slot:Hw_slots.ede_region
+          ~capacity_slot:Hw_slots.ede_capacity ~capacity:1024;
+      ws = Write_set.create ();
+      frees = [];
+      logged_lines = Hashtbl.create 64;
+      in_tx = false;
+    }
+  in
+  {
+    Ctx.name = "EDE";
+    run_tx = (fun f -> run_tx t f);
+    recover = (fun () -> recover t);
+    drain = (fun () -> ());
+    log_footprint = (fun () -> Nt_log.footprint t.log);
+    supports_recovery = true;
+  }

@@ -1,0 +1,10 @@
+(** EDE — Execution Dependence Extension (ISCA'21), the paper's hardware
+    baseline: in-place updates with fence-free hardware undo logging
+    (entries persist through the write-pending queue, ordered by the ISA's
+    dependence tracking) and synchronous write-set persistence at
+    commit. *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+val create : Heap.t -> Ctx.backend

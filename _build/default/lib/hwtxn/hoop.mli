@@ -1,0 +1,22 @@
+(** HOOP — hardware-assisted out-of-place updates (ISCA'20), as modelled
+    in the paper's evaluation: write intents are buffered on chip
+    (reads are redirected to them), drained to a sequential log at commit
+    with no fence, and applied to the home locations by a background
+    garbage collector whose bursts contend with the foreground for the
+    write-pending queue.  Logs a record per update {e and} per cache miss
+    (the address-mapping metadata that inflates its traffic on
+    large-footprint applications). *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+val create :
+  ?gc_batch_entries:int ->
+  ?gc_contention:float ->
+  ?stream_ns_per_update:float ->
+  Heap.t ->
+  Ctx.backend
+(** [gc_batch_entries] log entries trigger a GC cycle; [gc_contention] is
+    the fraction of the GC burst's write-queue occupancy that stalls the
+    foreground; [stream_ns_per_update] is the on-chip buffer streaming
+    cost per logged update. *)

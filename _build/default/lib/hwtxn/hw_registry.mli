@@ -1,0 +1,16 @@
+(** Construction of the simulated-hardware transaction schemes by name. *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type kind =
+  | Ede  (** hardware undo logging without ordering fences (baseline) *)
+  | Hoop  (** out-of-place updates + background GC *)
+  | Spec_hw_dp  (** hardware SpecPMT with forced data persistence *)
+  | Spec_hw  (** hardware SpecPMT (hybrid logging + epochs) *)
+  | Nolog  (** ideal, not crash consistent *)
+
+val all : kind list
+val name : kind -> string
+val of_name : string -> kind option
+val create : Heap.t -> kind -> Ctx.backend

@@ -1,0 +1,16 @@
+(** Root-slot assignments of the hardware schemes (disjoint from the
+    software backends', see {!Specpmt_backends.Slots}). *)
+
+val ede_region : int
+val ede_capacity : int
+val hoop_head : int
+val hoop_map_head : int
+val spec_head : int
+val spec_undo_region : int
+val spec_undo_capacity : int
+
+val mt_head : int -> int
+(** Per-core log head of the multi-core pool (0..3). *)
+
+val mt_undo_region : int -> int
+val mt_undo_capacity : int -> int

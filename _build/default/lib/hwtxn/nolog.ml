@@ -1,0 +1,49 @@
+(** The no-log ideal (Section 7.1.3): transactions persist their write set
+    at commit with one drain and perform no logging whatsoever.  This is
+    the performance ceiling for in-place-update persistent transactions —
+    and it is {e not} crash consistent. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type t = { heap : Heap.t; pm : Pmem.t; ws : Write_set.t; mutable in_tx : bool }
+
+let run_tx t f =
+  if t.in_tx then invalid_arg "Nolog: nested transaction";
+  t.in_tx <- true;
+  let ctx =
+    {
+      Ctx.read = (fun a -> Pmem.load_int t.pm a);
+      write =
+        (fun a v ->
+          ignore (Write_set.record t.ws a ~old_value:0);
+          Pmem.store_int t.pm a v);
+      alloc = (fun n -> Heap.alloc t.heap n);
+      free = (fun a -> Heap.free t.heap a);
+    }
+  in
+  match f ctx with
+  | v ->
+      Write_set.iter_in_order t.ws (fun a _ -> Pmem.clwb t.pm a);
+      Pmem.sfence t.pm;
+      Write_set.clear t.ws;
+      t.in_tx <- false;
+      v
+  | exception e ->
+      Write_set.clear t.ws;
+      t.in_tx <- false;
+      raise e
+
+let create heap =
+  let t =
+    { heap; pm = Heap.pmem heap; ws = Write_set.create (); in_tx = false }
+  in
+  {
+    Ctx.name = "no-log";
+    run_tx = (fun f -> run_tx t f);
+    recover = (fun () -> invalid_arg "no-log provides no crash consistency");
+    drain = (fun () -> ());
+    log_footprint = (fun () -> 0);
+    supports_recovery = false;
+  }

@@ -1,0 +1,8 @@
+(** The no-log ideal (paper Section 7.1.3): persist the write set at
+    commit, log nothing.  The performance ceiling for in-place-update
+    persistent transactions — and not crash consistent. *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+val create : Heap.t -> Ctx.backend

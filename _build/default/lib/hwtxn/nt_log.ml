@@ -1,0 +1,144 @@
+(** Fence-free hardware undo log.
+
+    Hardware schemes (EDE, the cold-path of hardware SpecPMT) persist an
+    undo record for each first update {e without} a fence: the entry is
+    written through the write-pending queue (non-temporal), which is inside
+    the ADR persistence domain, and the hardware's dependence tracking
+    (EDE's contribution) guarantees the entry is accepted before the data
+    store — our sequential interpreter gives that ordering for free, so no
+    [sfence] is ever issued on the append path.
+
+    Validity is self-describing.  The region starts with a {e generation}
+    word; an entry is [addr, old, crc(gen, addr, old)].  Recovery scans
+    from the base and stops at the first entry whose checksum does not
+    match under the current generation — entries surviving from an earlier
+    (truncated) transaction carry the old generation and fail the check.
+    Truncation at commit is therefore a single non-temporal store of the
+    bumped generation: no fence, no per-entry work. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type t = {
+  heap : Heap.t;
+  pm : Pmem.t;
+  region_slot : int;
+  capacity_slot : int;
+  mutable region : Addr.t;
+  mutable capacity : int; (* entries *)
+  mutable count : int;
+  mutable gen : int;
+}
+
+let entry_words = 3
+let entry_bytes = entry_words * 8
+let entries_base r = r + 8
+let entry_crc ~gen ~addr ~old = Checksum.words [ gen; addr; old ]
+
+let nt_store_words t a ws =
+  let b = Bytes.create (8 * List.length ws) in
+  List.iteri (fun i w -> Bytes.set_int64_le b (i * 8) (Int64.of_int w)) ws;
+  Pmem.nt_store_bytes t.pm a b
+
+let allocate t capacity =
+  let r = Heap.alloc_log t.heap (8 + (capacity * entry_bytes)) in
+  t.region <- r;
+  t.capacity <- capacity;
+  t.gen <- 1;
+  nt_store_words t r [ 1 ];
+  Pmem.store_int t.pm (Heap.root_slot t.heap t.region_slot) r;
+  Pmem.store_int t.pm (Heap.root_slot t.heap t.capacity_slot) capacity;
+  Pmem.clwb t.pm (Heap.root_slot t.heap t.region_slot);
+  Pmem.sfence t.pm
+
+let create heap ~region_slot ~capacity_slot ~capacity =
+  let t =
+    {
+      heap;
+      pm = Heap.pmem heap;
+      region_slot;
+      capacity_slot;
+      region = 0;
+      capacity = 0;
+      count = 0;
+      gen = 0;
+    }
+  in
+  allocate t capacity;
+  t
+
+let attach heap ~region_slot ~capacity_slot =
+  let pm = Heap.pmem heap in
+  let region = Pmem.load_int pm (Heap.root_slot heap region_slot) in
+  {
+    heap;
+    pm;
+    region_slot;
+    capacity_slot;
+    region;
+    capacity = Pmem.load_int pm (Heap.root_slot heap capacity_slot);
+    count = 0 (* unknown; scans are self-describing *);
+    gen = Pmem.load_int pm region;
+  }
+
+(** Persist one undo entry; no fence. *)
+let append t ~addr ~old =
+  if t.count >= t.capacity then begin
+    (* rare: grow and re-log the open transaction's entries *)
+    let old_region = t.region and n = t.count and gen = t.gen in
+    allocate t (t.capacity * 2);
+    t.gen <- gen;
+    nt_store_words t t.region [ gen ];
+    for i = 0 to n - 1 do
+      let src = entries_base old_region + (i * entry_bytes) in
+      nt_store_words t
+        (entries_base t.region + (i * entry_bytes))
+        [
+          Pmem.load_int t.pm src;
+          Pmem.load_int t.pm (src + 8);
+          Pmem.load_int t.pm (src + 16);
+        ]
+    done;
+    Heap.free t.heap old_region
+  end;
+  nt_store_words t
+    (entries_base t.region + (t.count * entry_bytes))
+    [ addr; old; entry_crc ~gen:t.gen ~addr ~old ];
+  t.count <- t.count + 1
+
+(** Commit-side truncation: persist a new generation; one non-temporal
+    store, no fence. *)
+let truncate t =
+  t.gen <- t.gen + 1;
+  nt_store_words t t.region [ t.gen ];
+  t.count <- 0
+
+(** Valid entries of the current generation, oldest first. *)
+let scan t =
+  let gen = Pmem.load_int t.pm t.region in
+  let out = ref [] in
+  let i = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !i < t.capacity do
+    let base = entries_base t.region + (!i * entry_bytes) in
+    let addr = Pmem.load_int t.pm base in
+    let old = Pmem.load_int t.pm (base + 8) in
+    let crc = Pmem.load_int t.pm (base + 16) in
+    if addr >= 0 && addr < Pmem.mem_size t.pm && crc = entry_crc ~gen ~addr ~old
+    then begin
+      out := (addr, old) :: !out;
+      incr i
+    end
+    else stop := true
+  done;
+  List.rev !out
+
+let footprint t = 8 + (t.capacity * entry_bytes)
+
+(** Address of the persistent generation word — hardware SpecPMT logs the
+    generation bump inside its commit record, making that record the
+    transaction's commit marker for the undo log too. *)
+let gen_cell t = t.region
+
+let generation t = t.gen

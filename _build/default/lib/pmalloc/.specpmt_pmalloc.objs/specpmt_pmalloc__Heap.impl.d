@@ -1,0 +1,1 @@
+lib/pmalloc/heap.ml: Addr Array Fmt Hashtbl Layout List Pmem Specpmt_pmem

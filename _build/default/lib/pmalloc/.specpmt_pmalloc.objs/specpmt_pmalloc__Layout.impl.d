@@ -1,0 +1,1 @@
+lib/pmalloc/layout.ml: Fmt

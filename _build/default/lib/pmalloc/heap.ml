@@ -1,0 +1,221 @@
+open Specpmt_pmem
+
+(* Size classes: 16..256 in steps of 16, then powers of two to 64 KiB,
+   then exact page multiples.  Small and simple; fragmentation is not the
+   object of study here. *)
+let size_classes =
+  let small = List.init 16 (fun i -> (i + 1) * 16) in
+  let big = [ 512; 1024; 2048; 4096; 8192; 16384; 32768; 65536 ] in
+  Array.of_list (small @ big)
+
+let class_of n =
+  let rec find i =
+    if i >= Array.length size_classes then None
+    else if size_classes.(i) >= n then Some i
+    else find (i + 1)
+  in
+  find 0
+
+type t = {
+  pm : Pmem.t;
+  free_lists : (int, Addr.t list ref) Hashtbl.t; (* class size -> blocks *)
+  log_free_lists : (int, Addr.t list ref) Hashtbl.t;
+  mutable bump : int;
+  mutable log_bump : int; (* log zone grows downward from the pool end *)
+  mutable freed : int; (* bytes on free lists *)
+}
+
+let header_alloc_bit = 1
+
+let write_header t addr size ~allocated =
+  let v = (size lsl 1) lor (if allocated then header_alloc_bit else 0) in
+  Pmem.store_int t.pm (addr - 8) v
+
+let read_header t addr =
+  let v = Pmem.peek_volatile_int t.pm (addr - 8) in
+  (v lsr 1, v land header_alloc_bit = 1)
+
+let pmem t = t.pm
+
+let create pm =
+  if Pmem.peek_media_int pm Layout.magic = Layout.magic_value then
+    invalid_arg "Heap.create: pool already formatted";
+  let t =
+    {
+      pm;
+      free_lists = Hashtbl.create 32;
+      log_free_lists = Hashtbl.create 32;
+      bump = Layout.heap_base;
+      log_bump = Pmem.mem_size pm;
+      freed = 0;
+    }
+  in
+  Pmem.with_unmetered pm (fun () ->
+      Pmem.store_int pm Layout.magic Layout.magic_value;
+      Pmem.store_int pm Layout.heap_bump t.bump;
+      Pmem.store_int pm Layout.log_bump t.log_bump;
+      for i = 0 to Layout.root_slot_count - 1 do
+        Pmem.store_int pm (Layout.root_slot i) 0
+      done;
+      Pmem.flush_range pm 0 (64 + (Layout.root_slot_count * 8));
+      Pmem.sfence pm);
+  t
+
+let push_free_into lists addr size =
+  let l =
+    match Hashtbl.find_opt lists size with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Hashtbl.replace lists size l;
+        l
+  in
+  l := addr :: !l
+
+let push_free t size addr =
+  push_free_into t.free_lists addr size;
+  t.freed <- t.freed + size
+
+let open_existing pm =
+  if Pmem.peek_media_int pm Layout.magic <> Layout.magic_value then
+    invalid_arg "Heap.open_existing: no formatted pool";
+  let t =
+    {
+      pm;
+      free_lists = Hashtbl.create 32;
+      log_free_lists = Hashtbl.create 32;
+      bump = Layout.heap_base;
+      log_bump = Pmem.mem_size pm;
+      freed = 0;
+    }
+  in
+  (* volatile walks below; both zones share the header format *)
+  let walk ~from ~upto ~on_free =
+    let pos = ref from in
+    let stop = ref false in
+    while (not !stop) && !pos < upto do
+      let addr = !pos + 8 in
+      let size, allocated = read_header t addr in
+      if size = 0 || size land 7 <> 0 || !pos + 8 + size > upto then
+        (* lost header: the crash beat the header to the media; everything
+           from here on is unreachable, reclaim as free space *)
+        stop := true
+      else begin
+        if not allocated then on_free addr size;
+        pos := !pos + 8 + size
+      end
+    done;
+    !pos
+  in
+  let bump = Pmem.peek_media_int pm Layout.heap_bump in
+  t.bump <-
+    walk ~from:Layout.heap_base ~upto:bump ~on_free:(fun a s ->
+        push_free t s a);
+  let log_bump = Pmem.peek_media_int pm Layout.log_bump in
+  if log_bump > t.bump && log_bump <= Pmem.mem_size pm then begin
+    ignore
+      (walk ~from:log_bump ~upto:(Pmem.mem_size pm) ~on_free:(fun a s ->
+           push_free_into t.log_free_lists a s));
+    t.log_bump <- log_bump
+  end;
+  Pmem.with_unmetered pm (fun () ->
+      Pmem.store_int pm Layout.heap_bump t.bump;
+      Pmem.store_int pm Layout.log_bump t.log_bump);
+  t
+
+let recover t =
+  Hashtbl.reset t.free_lists;
+  Hashtbl.reset t.log_free_lists;
+  t.freed <- 0;
+  let fresh = open_existing t.pm in
+  t.bump <- fresh.bump;
+  t.log_bump <- fresh.log_bump;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.free_lists k v) fresh.free_lists;
+  Hashtbl.iter
+    (fun k v -> Hashtbl.replace t.log_free_lists k v)
+    fresh.log_free_lists;
+  t.freed <- fresh.freed
+
+(* Allocator metadata is made persistent eagerly: the header and bump
+   cells are flushed on allocation (persistent on write-pending-queue
+   acceptance, no fence).  A crash can therefore only leak blocks of
+   uncommitted transactions — never let the recovery walk regress the bump
+   pointer over live data.  Frees are persisted too, but transactional
+   code must only free at commit (the backends defer [ctx.free]). *)
+let persist_cell t a =
+  Pmem.clwb t.pm a
+
+let alloc t n =
+  if n <= 0 then Fmt.invalid_arg "Heap.alloc %d" n;
+  let size =
+    match class_of n with
+    | Some c -> size_classes.(c)
+    | None -> Addr.align_up n Addr.page_size
+  in
+  match Hashtbl.find_opt t.free_lists size with
+  | Some ({ contents = addr :: rest } as l) ->
+      l := rest;
+      t.freed <- t.freed - size;
+      write_header t addr size ~allocated:true;
+      persist_cell t (addr - 8);
+      addr
+  | Some { contents = [] } | None ->
+      let addr = t.bump + 8 in
+      if addr + size > t.log_bump then raise Out_of_memory;
+      t.bump <- addr + size;
+      write_header t addr size ~allocated:true;
+      persist_cell t (addr - 8);
+      Pmem.store_int t.pm Layout.heap_bump t.bump;
+      persist_cell t Layout.heap_bump;
+      addr
+
+(* Log-zone allocation: grows downward from the pool end, keeping log
+   blocks physically segregated from application data — the dedicated log
+   area of the paper's designs.  Interleaving them in one bump zone would
+   scatter application allocations across pages and wreck the page-level
+   hotness tracking of hardware SpecPMT. *)
+let alloc_log t n =
+  if n <= 0 then Fmt.invalid_arg "Heap.alloc_log %d" n;
+  let size =
+    match class_of n with
+    | Some c -> size_classes.(c)
+    | None -> Addr.align_up n Addr.page_size
+  in
+  match Hashtbl.find_opt t.log_free_lists size with
+  | Some ({ contents = addr :: rest } as l) ->
+      l := rest;
+      write_header t addr size ~allocated:true;
+      persist_cell t (addr - 8);
+      addr
+  | Some { contents = [] } | None ->
+      let base = t.log_bump - size - 8 in
+      let addr = base + 8 in
+      if base < t.bump then raise Out_of_memory;
+      t.log_bump <- base;
+      write_header t addr size ~allocated:true;
+      persist_cell t (addr - 8);
+      Pmem.store_int t.pm Layout.log_bump t.log_bump;
+      persist_cell t Layout.log_bump;
+      addr
+
+let free t addr =
+  let size, allocated = read_header t addr in
+  if not allocated then
+    Fmt.invalid_arg "Heap.free: double free at %#x" addr;
+  write_header t addr size ~allocated:false;
+  persist_cell t (addr - 8);
+  if addr > t.log_bump then push_free_into t.log_free_lists addr size
+  else push_free t size addr
+
+(* Register a block whose header has already been cleared by other means
+   (e.g. written and logged through a transaction): only the volatile free
+   list is updated. *)
+let register_free t addr =
+  let size, _ = read_header t addr in
+  if addr > t.log_bump then push_free_into t.log_free_lists addr size
+  else push_free t size addr
+
+let usable_size t addr = fst (read_header t addr)
+let root_slot _t i = Layout.root_slot i
+let used_bytes t = t.bump - Layout.heap_base
+let live_bytes t = used_bytes t - t.freed

@@ -1,0 +1,22 @@
+(** Fixed layout of the reserved head of a persistent pool.
+
+    Byte 0 of the media image starts a 4 KiB root area (the "head of a
+    persistent memory object pool" the paper stores its log-head pointer
+    in, Section 4.1).  Everything after it belongs to the heap. *)
+
+let magic_value = 0x53504D54 (* "SPMT" *)
+
+(* Offsets inside the root area, all 8-byte cells. *)
+let magic = 0
+let heap_bump = 8
+let log_bump = 16
+let root_slot_count = 64
+
+(** Persistent root pointer slots available to transaction backends and
+    applications (log heads, commit markers, application roots...). *)
+let root_slot i =
+  if i < 0 || i >= root_slot_count then
+    Fmt.invalid_arg "Layout.root_slot %d" i;
+  64 + (i * 8)
+
+let heap_base = 4096

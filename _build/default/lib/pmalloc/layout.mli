@@ -1,0 +1,14 @@
+(** Fixed layout of the reserved head of a persistent pool: a 4 KiB root
+    area holding the magic, the two zone bump pointers and the root
+    pointer slots; the heap follows. *)
+
+val magic_value : int
+val magic : int
+val heap_bump : int
+val log_bump : int
+val root_slot_count : int
+
+val root_slot : int -> int
+(** Address of persistent root-pointer slot [i]. *)
+
+val heap_base : int

@@ -1,0 +1,1 @@
+lib/pmem/pmem.ml: Addr Array Bytes Config Float Fmt Fun Hashtbl Int64 List Queue Random Stats

@@ -1,0 +1,1 @@
+lib/pmem/pmem.mli: Addr Config Format Stats

@@ -1,0 +1,20 @@
+type t = int
+
+let line_size = 64
+let page_size = 4096
+let word_size = 8
+let line_of a = a land lnot (line_size - 1)
+let line_index a = a lsr 6
+let page_of a = a land lnot (page_size - 1)
+let page_index a = a lsr 12
+let offset_in_line a = a land (line_size - 1)
+
+let lines_spanned a len =
+  assert (len > 0);
+  line_index (a + len - 1) - line_index a + 1
+
+let is_word_aligned a = a land (word_size - 1) = 0
+
+let align_up a k =
+  assert (k land (k - 1) = 0);
+  (a + k - 1) land lnot (k - 1)

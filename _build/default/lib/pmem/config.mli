@@ -1,0 +1,33 @@
+(** Device and cost-model parameters (paper Table 1).
+
+    All latencies are simulated nanoseconds; the core runs at 4 GHz.  The
+    persistent-memory numbers follow Table 1: 150 ns read, 500 ns write,
+    a 512-byte write-pending queue; sequential writes are discounted (the
+    sequential-log advantage the paper builds on). *)
+
+type t = {
+  mem_size : int;  (** size of the persistent media image, bytes *)
+  cache_capacity_lines : int;
+      (** volatile cache capacity in 64-byte lines; evictions past this
+          write dirty lines back to the media *)
+  l1_hit_ns : float;  (** load/store hit in the volatile hierarchy *)
+  pm_read_ns : float;  (** persistent-media read (cache miss) *)
+  pm_write_ns : float;  (** persistent-media random line write *)
+  pm_seq_write_ns : float;
+      (** line write landing right after the previously persisted line *)
+  wpq_lines : int;  (** write-pending-queue capacity in lines *)
+  wpq_accept_ns : float;  (** time for the WPQ to accept one line *)
+  fence_ns : float;  (** fixed overhead of [sfence] beyond draining *)
+  clwb_issue_ns : float;  (** core-side issue cost of a flush *)
+  crash_word_persist_prob : float;
+      (** at a crash, probability that any given dirty (un-flushed) 8-byte
+          word has already drained to the media *)
+  eadr : bool;
+      (** persistent caches (paper Section 5.3.1): stores are durable on
+          arrival, flushes are no-ops, crashes drain everything *)
+}
+
+val default : t
+
+val small : t
+(** A 1 MiB image with a tiny cache, for unit tests. *)

@@ -1,0 +1,355 @@
+exception Crash
+
+type op =
+  | Load of Addr.t
+  | Store of Addr.t * int
+  | Clwb of Addr.t
+  | Sfence
+  | Nt_store of Addr.t * int (* address, bytes *)
+
+let pp_op ppf = function
+  | Load a -> Fmt.pf ppf "load   %#x" a
+  | Store (a, v) -> Fmt.pf ppf "store  %#x <- %d" a v
+  | Clwb a -> Fmt.pf ppf "clwb   %#x" a
+  | Sfence -> Fmt.pf ppf "sfence"
+  | Nt_store (a, n) -> Fmt.pf ppf "ntstore %#x (%d B)" a n
+
+type line = { data : bytes; mutable dirty : bool }
+
+type t = {
+  cfg : Config.t;
+  media : bytes;
+  cache : (int, line) Hashtbl.t; (* keyed by line index *)
+  order : int Queue.t; (* FIFO of line indices for capacity eviction *)
+  stats : Stats.t;
+  rng : Random.State.t;
+  mutable pending : float list; (* completion times of accepted persists *)
+  mutable last_completion : float; (* WPQ is a serial server *)
+  mutable last_persist_line : int; (* for the sequential-write fast path *)
+  mutable fuse : int option;
+  mutable metered : bool;
+  mutable crashed : bool;
+  (* optional operation trace: a bounded ring of the most recent memory
+     events, for post-mortem debugging of crash-consistency failures *)
+  mutable trace : op array option;
+  mutable trace_pos : int;
+}
+
+let create ?(seed = 42) cfg =
+  {
+    cfg;
+    media = Bytes.make cfg.Config.mem_size '\000';
+    cache = Hashtbl.create 4096;
+    order = Queue.create ();
+    stats = Stats.create ();
+    rng = Random.State.make [| seed; 0x5ec; 0x9a7e |];
+    pending = [];
+    last_completion = 0.0;
+    last_persist_line = -10;
+    fuse = None;
+    metered = true;
+    crashed = false;
+    trace = None;
+    trace_pos = 0;
+  }
+
+let config t = t.cfg
+let stats t = t.stats
+let mem_size t = t.cfg.Config.mem_size
+let crashed_once t = t.crashed
+let set_fuse t n = t.fuse <- n
+let fuse t = t.fuse
+
+let set_trace t n =
+  if n <= 0 then begin
+    t.trace <- None;
+    t.trace_pos <- 0
+  end
+  else begin
+    t.trace <- Some (Array.make n Sfence);
+    t.trace_pos <- 0
+  end
+
+let record_op t op =
+  match t.trace with
+  | None -> ()
+  | Some ring ->
+      ring.(t.trace_pos mod Array.length ring) <- op;
+      t.trace_pos <- t.trace_pos + 1
+
+let recent_ops t =
+  match t.trace with
+  | None -> []
+  | Some ring ->
+      let n = Array.length ring in
+      let count = min n t.trace_pos in
+      List.init count (fun i -> ring.((t.trace_pos - count + i) mod n))
+
+let burn_fuse t =
+  match t.fuse with
+  | None -> ()
+  | Some n -> if n <= 1 then raise Crash else t.fuse <- Some (n - 1)
+
+let charge t ns = if t.metered then t.stats.Stats.ns <- t.stats.Stats.ns +. ns
+let charge_ns = charge
+
+let charge_bg_ns t ns =
+  if t.metered then t.stats.Stats.bg_ns <- t.stats.Stats.bg_ns +. ns
+
+let count f t = if t.metered then f t.stats
+
+(* Write one line of content to the media image, with traffic accounting
+   and sequential-stream detection.  [charged] distinguishes foreground
+   persists (flushes, nt-stores: drain time goes through the WPQ model)
+   from background ones (capacity evictions: time goes to the background
+   ledger). *)
+let media_write_line ?(meter = true) t li (content : bytes) =
+  let off = li * Addr.line_size in
+  Bytes.blit content 0 t.media off Addr.line_size;
+  if meter && t.metered then begin
+    let seq = li = t.last_persist_line + 1 || li = t.last_persist_line in
+    t.stats.Stats.pm_write_lines <- t.stats.Stats.pm_write_lines + 1;
+    if seq then
+      t.stats.Stats.pm_write_lines_seq <- t.stats.Stats.pm_write_lines_seq + 1;
+    (* unmetered (background-core) writes must not perturb the foreground
+       stream-locality tracking either *)
+    t.last_persist_line <- li
+  end
+
+let line_write_cost t li =
+  let seq = li = t.last_persist_line + 1 || li = t.last_persist_line in
+  if seq then t.cfg.Config.pm_seq_write_ns else t.cfg.Config.pm_write_ns
+
+(* Accept one line into the write-pending queue: may stall the foreground
+   if the queue is full; the drain itself is asynchronous and paid by the
+   next fence. *)
+let wpq_accept t li =
+  (* background-core persists do not occupy the foreground's
+     write-pending queue in the model *)
+  if t.metered then begin
+    let cfg = t.cfg in
+    if List.length t.pending >= cfg.Config.wpq_lines then begin
+      (* stall until the oldest accepted persist drains *)
+      let oldest = List.fold_left min infinity t.pending in
+      if t.stats.Stats.ns < oldest then charge t (oldest -. t.stats.Stats.ns);
+      t.pending <- List.filter (fun c -> c > t.stats.Stats.ns) t.pending
+    end;
+    charge t cfg.Config.wpq_accept_ns;
+    let start = Float.max t.stats.Stats.ns t.last_completion in
+    let completion = start +. line_write_cost t li in
+    t.last_completion <- completion;
+    t.pending <- completion :: t.pending
+  end
+
+let evict_capacity t =
+  let cap = t.cfg.Config.cache_capacity_lines in
+  while Hashtbl.length t.cache > cap && not (Queue.is_empty t.order) do
+    let li = Queue.pop t.order in
+    match Hashtbl.find_opt t.cache li with
+    | None -> ()
+    | Some line ->
+        Hashtbl.remove t.cache li;
+        if line.dirty then begin
+          count (fun s -> s.Stats.evictions <- s.Stats.evictions + 1) t;
+          media_write_line t li line.data;
+          charge_bg_ns t (line_write_cost t li)
+        end
+  done
+
+(* Fetch a line into the cache (clean copy from media) if absent. *)
+let get_line t li ~for_load =
+  match Hashtbl.find_opt t.cache li with
+  | Some line ->
+      charge t t.cfg.Config.l1_hit_ns;
+      line
+  | None ->
+      if for_load then begin
+        count (fun s -> s.Stats.pm_read_lines <- s.Stats.pm_read_lines + 1) t;
+        charge t t.cfg.Config.pm_read_ns
+      end
+      else charge t t.cfg.Config.l1_hit_ns;
+      let data = Bytes.create Addr.line_size in
+      Bytes.blit t.media (li * Addr.line_size) data 0 Addr.line_size;
+      let line = { data; dirty = false } in
+      Hashtbl.replace t.cache li line;
+      Queue.push li t.order;
+      evict_capacity t;
+      line
+
+let check_bounds t addr len =
+  if addr < 0 || addr + len > t.cfg.Config.mem_size then
+    Fmt.invalid_arg "Pmem: address out of bounds: %d (+%d)" addr len
+
+let load_int t addr =
+  assert (Addr.is_word_aligned addr);
+  check_bounds t addr 8;
+  burn_fuse t;
+  record_op t (Load addr);
+  count (fun s -> s.Stats.loads <- s.Stats.loads + 1) t;
+  let line = get_line t (Addr.line_index addr) ~for_load:true in
+  Int64.to_int (Bytes.get_int64_le line.data (Addr.offset_in_line addr))
+
+let store_int t addr v =
+  assert (Addr.is_word_aligned addr);
+  check_bounds t addr 8;
+  burn_fuse t;
+  record_op t (Store (addr, v));
+  count (fun s -> s.Stats.stores <- s.Stats.stores + 1) t;
+  let line = get_line t (Addr.line_index addr) ~for_load:false in
+  Bytes.set_int64_le line.data (Addr.offset_in_line addr) (Int64.of_int v);
+  line.dirty <- true
+
+let load_bytes t addr len =
+  check_bounds t addr len;
+  burn_fuse t;
+  count (fun s -> s.Stats.loads <- s.Stats.loads + 1) t;
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let li = Addr.line_index a in
+    let off = Addr.offset_in_line a in
+    let n = min (Addr.line_size - off) (len - !pos) in
+    let line = get_line t li ~for_load:true in
+    Bytes.blit line.data off out !pos n;
+    pos := !pos + n
+  done;
+  out
+
+let store_bytes t addr b =
+  let len = Bytes.length b in
+  if len > 0 then begin
+    check_bounds t addr len;
+    burn_fuse t;
+    count (fun s -> s.Stats.stores <- s.Stats.stores + 1) t;
+    let pos = ref 0 in
+    while !pos < len do
+      let a = addr + !pos in
+      let li = Addr.line_index a in
+      let off = Addr.offset_in_line a in
+      let n = min (Addr.line_size - off) (len - !pos) in
+      let line = get_line t li ~for_load:false in
+      Bytes.blit b !pos line.data off n;
+      line.dirty <- true;
+      pos := !pos + n
+    done
+  end
+
+let clwb t addr =
+  check_bounds t addr 1;
+  burn_fuse t;
+  record_op t (Clwb addr);
+  count (fun s -> s.Stats.clwbs <- s.Stats.clwbs + 1) t;
+  charge t t.cfg.Config.clwb_issue_ns;
+  if not t.cfg.Config.eadr then
+    let li = Addr.line_index addr in
+    match Hashtbl.find_opt t.cache li with
+    | Some line when line.dirty ->
+        (* accepted by the WPQ: persistent now, drain time paid at the
+           fence *)
+        wpq_accept t li;
+        media_write_line t li line.data;
+        line.dirty <- false
+    | Some _ | None -> ()
+
+(* clflushopt: like clwb but also invalidates the cached copy — the next
+   access misses.  Same persistence semantics (WPQ acceptance). *)
+let clflushopt t addr =
+  clwb t addr;
+  Hashtbl.remove t.cache (Addr.line_index addr)
+
+let sfence t =
+  burn_fuse t;
+  record_op t Sfence;
+  count (fun s -> s.Stats.fences <- s.Stats.fences + 1) t;
+  let latest = List.fold_left Float.max t.stats.Stats.ns t.pending in
+  if t.metered then t.stats.Stats.ns <- latest +. t.cfg.Config.fence_ns;
+  t.pending <- []
+
+let nt_store_bytes t addr b =
+  (* under eADR a cached store is already durable; the non-temporal hint
+     buys nothing and the write stays in the (persistent) cache *)
+  if t.cfg.Config.eadr then store_bytes t addr b
+  else
+  let len = Bytes.length b in
+  if len > 0 then begin
+    check_bounds t addr len;
+    burn_fuse t;
+    record_op t (Nt_store (addr, len));
+    count (fun s -> s.Stats.nt_stores <- s.Stats.nt_stores + 1) t;
+    let pos = ref 0 in
+    while !pos < len do
+      let a = addr + !pos in
+      let li = Addr.line_index a in
+      let off = Addr.offset_in_line a in
+      let n = min (Addr.line_size - off) (len - !pos) in
+      (* write-combining through the WPQ; cached copies are invalidated,
+         merging with any cached dirty content first so that unrelated
+         bytes of the line are not lost *)
+      let content =
+        match Hashtbl.find_opt t.cache li with
+        | Some line ->
+            Hashtbl.remove t.cache li;
+            line.data
+        | None ->
+            let d = Bytes.create Addr.line_size in
+            Bytes.blit t.media (li * Addr.line_size) d 0 Addr.line_size;
+            d
+      in
+      Bytes.blit b !pos content off n;
+      wpq_accept t li;
+      media_write_line t li content;
+      pos := !pos + n
+    done
+  end
+
+let flush_range t addr len =
+  if len > 0 then begin
+    let first = Addr.line_index addr in
+    let last = Addr.line_index (addr + len - 1) in
+    for li = first to last do
+      clwb t (li * Addr.line_size)
+    done
+  end
+
+let crash t =
+  t.crashed <- true;
+  (* under eADR the caches are inside the persistence domain: every dirty
+     word drains, deterministically *)
+  let p =
+    if t.cfg.Config.eadr then 1.0 else t.cfg.Config.crash_word_persist_prob
+  in
+  Hashtbl.iter
+    (fun li line ->
+      if line.dirty then
+        (* each 8-byte word may have drained independently (stores are
+           word-atomic with respect to persistence) *)
+        for w = 0 to (Addr.line_size / 8) - 1 do
+          if Random.State.float t.rng 1.0 < p then
+            Bytes.blit line.data (w * 8) t.media
+              ((li * Addr.line_size) + (w * 8))
+              8
+        done)
+    t.cache;
+  Hashtbl.reset t.cache;
+  Queue.clear t.order;
+  t.pending <- [];
+  t.fuse <- None
+
+let with_unmetered t f =
+  let saved = t.metered in
+  t.metered <- false;
+  Fun.protect ~finally:(fun () -> t.metered <- saved) f
+
+let peek_media_int t addr =
+  assert (Addr.is_word_aligned addr);
+  check_bounds t addr 8;
+  Int64.to_int (Bytes.get_int64_le t.media addr)
+
+let peek_volatile_int t addr =
+  assert (Addr.is_word_aligned addr);
+  check_bounds t addr 8;
+  match Hashtbl.find_opt t.cache (Addr.line_index addr) with
+  | Some line ->
+      Int64.to_int (Bytes.get_int64_le line.data (Addr.offset_in_line addr))
+  | None -> Int64.to_int (Bytes.get_int64_le t.media addr)

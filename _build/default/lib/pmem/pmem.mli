@@ -1,0 +1,127 @@
+(** Simulated byte-addressable persistent memory with a volatile cache.
+
+    This module is the stand-in for the paper's Intel Optane DC persistent
+    memory (Section 2.1).  It models:
+
+    - a persistent {e media image} that survives {!crash};
+    - a volatile cache of 64-byte lines in front of it — plain {!store}s
+      dirty a cached line and are {b not} persistent until the line is
+      flushed ({!clwb} + {!sfence}), written with a non-temporal store
+      ({!nt_store_bytes}), or evicted by capacity pressure;
+    - an ADR persistence domain: once a flush or non-temporal store is
+      accepted by the write-pending queue it is considered persistent (the
+      WPQ is inside the persistence domain); [sfence] only contributes the
+      drain {e time};
+    - a cost model (see {!Config}) that accumulates simulated nanoseconds
+      and traffic counters into {!Stats};
+    - crash injection: a {e fuse} aborts execution after a chosen number of
+      memory events, and {!crash} then drops the volatile cache, writing
+      each dirty 8-byte word back with a coin flip to model in-flight
+      stores and spontaneous evictions.
+
+    All operations are deterministic given the creation seed. *)
+
+type t
+
+exception Crash
+(** Raised by any memory operation when the installed crash fuse burns out.
+    The caller should unwind to the harness, which calls {!crash}. *)
+
+val create : ?seed:int -> Config.t -> t
+(** Fresh device, media zero-filled. *)
+
+val config : t -> Config.t
+val stats : t -> Stats.t
+
+(** {1 Data access} *)
+
+val load_int : t -> Addr.t -> int
+(** 8-byte load of a 63-bit OCaml [int] at an 8-byte-aligned address. *)
+
+val store_int : t -> Addr.t -> int -> unit
+(** 8-byte store; volatile until flushed or evicted. *)
+
+val load_bytes : t -> Addr.t -> int -> bytes
+val store_bytes : t -> Addr.t -> bytes -> unit
+
+(** {1 Persistence operations} *)
+
+val clwb : t -> Addr.t -> unit
+(** Flush the cache line containing the address.  Once accepted by the
+    write-pending queue the line content is persistent; the time cost of
+    draining is paid by the next {!sfence}.  Flushing a clean or uncached
+    line costs only the issue overhead. *)
+
+val clflushopt : t -> Addr.t -> unit
+(** Like {!clwb} but also invalidates the cached copy (the pre-Skylake
+    flavour); the next access to the line misses. *)
+
+val sfence : t -> unit
+(** Persist barrier: waits until every accepted flush has drained. *)
+
+val nt_store_bytes : t -> Addr.t -> bytes -> unit
+(** Non-temporal store: bypasses the cache, writing directly through the
+    write-pending queue (persistent on acceptance, drain paid at the next
+    fence).  Invalidates any cached copy of the touched lines. *)
+
+val flush_range : t -> Addr.t -> int -> unit
+(** [clwb] every line of the byte range. *)
+
+val charge_ns : t -> float -> unit
+(** Add foreground simulated time (used by higher layers to model
+    non-memory costs, e.g. hardware structures). *)
+
+val charge_bg_ns : t -> float -> unit
+(** Add background-core simulated time (reclamation, replay threads). *)
+
+(** {1 Crash injection and recovery} *)
+
+val set_fuse : t -> int option -> unit
+(** [set_fuse t (Some n)] makes the [n]-th subsequent memory event raise
+    {!Crash}.  [None] disarms. *)
+
+val fuse : t -> int option
+(** Remaining events before the fuse burns ([None] = disarmed). *)
+
+val crash : t -> unit
+(** Take the crash: every dirty cached word independently reaches the media
+    with probability [crash_word_persist_prob]; then the cache, queue and
+    fuse are cleared.  Subsequent loads observe only the media. *)
+
+val crashed_once : t -> bool
+(** Whether {!crash} has ever been taken on this device. *)
+
+(** {1 Operation tracing (debugging)} *)
+
+type op =
+  | Load of Addr.t
+  | Store of Addr.t * int
+  | Clwb of Addr.t
+  | Sfence
+  | Nt_store of Addr.t * int  (** address, byte count *)
+
+val pp_op : Format.formatter -> op -> unit
+
+val set_trace : t -> int -> unit
+(** Keep a ring of the [n] most recent memory events ([n <= 0]
+    disables).  For post-mortem debugging of crash-consistency failures;
+    zero cost when disabled. *)
+
+val recent_ops : t -> op list
+(** Traced events, oldest first. *)
+
+(** {1 Metering control} *)
+
+val with_unmetered : t -> (unit -> 'a) -> 'a
+(** Run a setup phase without accumulating time or counters (state changes
+    still happen, and the crash fuse is still honoured). *)
+
+(** {1 Debug/verification access (no cost, no metering)} *)
+
+val peek_media_int : t -> Addr.t -> int
+(** Read the media image directly — what a post-crash observer sees. *)
+
+val peek_volatile_int : t -> Addr.t -> int
+(** Read through the cache as {!load_int} would, without metering. *)
+
+val mem_size : t -> int

@@ -1,0 +1,1 @@
+lib/pstruct/phashtbl.mli: Ctx Specpmt_txn

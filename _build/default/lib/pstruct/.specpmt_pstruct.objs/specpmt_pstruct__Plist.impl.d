@@ -1,0 +1,1 @@
+lib/pstruct/plist.ml: Addr Ctx List Specpmt_pmem Specpmt_txn

@@ -1,0 +1,1 @@
+lib/pstruct/plist.mli: Addr Ctx Specpmt_pmem Specpmt_txn

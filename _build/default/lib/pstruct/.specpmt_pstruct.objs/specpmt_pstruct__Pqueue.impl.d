@@ -1,0 +1,1 @@
+lib/pstruct/pqueue.ml: Addr Ctx Specpmt_pmem Specpmt_txn

@@ -1,0 +1,1 @@
+lib/pstruct/pqueue.mli: Addr Ctx Specpmt_pmem Specpmt_txn

@@ -1,0 +1,1 @@
+lib/pstruct/ptreap.ml: Addr Ctx Specpmt_pmem Specpmt_txn

@@ -1,0 +1,1 @@
+lib/pstruct/ptreap.mli: Addr Ctx Specpmt_pmem Specpmt_txn

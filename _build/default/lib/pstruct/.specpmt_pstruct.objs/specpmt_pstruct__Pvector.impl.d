@@ -1,0 +1,1 @@
+lib/pstruct/pvector.ml: Addr Ctx Fmt List Specpmt_pmem Specpmt_txn

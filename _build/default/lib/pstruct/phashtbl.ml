@@ -1,0 +1,106 @@
+(** Persistent chained hash table (int keys and values).
+
+    Layout: header [nbuckets; count], bucket array of node pointers, nodes
+    [key; value; next].  Pointer 0 is null (the pool's address 0 is the
+    magic cell, never a node). *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type t = { header : Addr.t; buckets : Addr.t; nbuckets : int }
+
+let node_bytes = 24
+
+let create (ctx : Ctx.ctx) nbuckets =
+  assert (nbuckets > 0);
+  let header = ctx.Ctx.alloc 16 in
+  let buckets = ctx.Ctx.alloc (nbuckets * 8) in
+  ctx.Ctx.write header nbuckets;
+  ctx.Ctx.write (header + 8) 0;
+  for i = 0 to nbuckets - 1 do
+    ctx.Ctx.write (buckets + (i * 8)) 0
+  done;
+  { header; buckets; nbuckets }
+
+let length (ctx : Ctx.ctx) t = ctx.Ctx.read (t.header + 8)
+
+let hash key =
+  let h = key * 0x1E3779B97F4A7C15 in
+  (h lsr 29) land max_int
+
+let bucket_addr t key = t.buckets + (hash key mod t.nbuckets * 8)
+
+let rec find_node (ctx : Ctx.ctx) node key =
+  if node = 0 then 0
+  else if ctx.Ctx.read node = key then node
+  else find_node ctx (ctx.Ctx.read (node + 16)) key
+
+let find (ctx : Ctx.ctx) t key =
+  let node = find_node ctx (ctx.Ctx.read (bucket_addr t key)) key in
+  if node = 0 then None else Some (ctx.Ctx.read (node + 8))
+
+let mem ctx t key = find ctx t key <> None
+
+(** Insert or overwrite; returns [true] when the key was absent. *)
+let replace (ctx : Ctx.ctx) t key value =
+  let b = bucket_addr t key in
+  let head = ctx.Ctx.read b in
+  let node = find_node ctx head key in
+  if node <> 0 then begin
+    ctx.Ctx.write (node + 8) value;
+    false
+  end
+  else begin
+    let n = ctx.Ctx.alloc node_bytes in
+    ctx.Ctx.write n key;
+    ctx.Ctx.write (n + 8) value;
+    ctx.Ctx.write (n + 16) head;
+    ctx.Ctx.write b n;
+    ctx.Ctx.write (t.header + 8) (length ctx t + 1);
+    true
+  end
+
+(** Insert only if absent; returns [true] when inserted. *)
+let add_if_absent (ctx : Ctx.ctx) t key value =
+  let b = bucket_addr t key in
+  let head = ctx.Ctx.read b in
+  if find_node ctx head key <> 0 then false
+  else begin
+    let n = ctx.Ctx.alloc node_bytes in
+    ctx.Ctx.write n key;
+    ctx.Ctx.write (n + 8) value;
+    ctx.Ctx.write (n + 16) head;
+    ctx.Ctx.write b n;
+    ctx.Ctx.write (t.header + 8) (length ctx t + 1);
+    true
+  end
+
+let remove (ctx : Ctx.ctx) t key =
+  let b = bucket_addr t key in
+  let rec go prev node =
+    if node = 0 then false
+    else if ctx.Ctx.read node = key then begin
+      let next = ctx.Ctx.read (node + 16) in
+      if prev = 0 then ctx.Ctx.write b next
+      else ctx.Ctx.write (prev + 16) next;
+      ctx.Ctx.free node;
+      ctx.Ctx.write (t.header + 8) (length ctx t - 1);
+      true
+    end
+    else go node (ctx.Ctx.read (node + 16))
+  in
+  go 0 (ctx.Ctx.read b)
+
+let iter (ctx : Ctx.ctx) t f =
+  for i = 0 to t.nbuckets - 1 do
+    let node = ref (ctx.Ctx.read (t.buckets + (i * 8))) in
+    while !node <> 0 do
+      f (ctx.Ctx.read !node) (ctx.Ctx.read (!node + 8));
+      node := ctx.Ctx.read (!node + 16)
+    done
+  done
+
+let fold ctx t f acc =
+  let acc = ref acc in
+  iter ctx t (fun k v -> acc := f k v !acc);
+  !acc

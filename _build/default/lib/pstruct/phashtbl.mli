@@ -1,0 +1,29 @@
+(** Persistent chained hash table with [int] keys and values.
+
+    Fixed bucket count chosen at {!create}; nodes are allocated from the
+    transactional context, so inserts and removals are crash-atomic when
+    performed inside a transaction. *)
+
+open Specpmt_txn
+
+type t
+
+val create : Ctx.ctx -> int -> t
+(** [create ctx nbuckets] — [nbuckets > 0]. *)
+
+val length : Ctx.ctx -> t -> int
+val find : Ctx.ctx -> t -> int -> int option
+val mem : Ctx.ctx -> t -> int -> bool
+
+val replace : Ctx.ctx -> t -> int -> int -> bool
+(** Insert or overwrite; [true] when the key was absent. *)
+
+val add_if_absent : Ctx.ctx -> t -> int -> int -> bool
+(** Insert only if absent; [true] when inserted. *)
+
+val remove : Ctx.ctx -> t -> int -> bool
+(** [true] when a binding was removed (its node is freed via the ctx,
+    i.e. deferred to commit under a transactional context). *)
+
+val iter : Ctx.ctx -> t -> (int -> int -> unit) -> unit
+val fold : Ctx.ctx -> t -> (int -> int -> 'a -> 'a) -> 'a -> 'a

@@ -1,0 +1,68 @@
+(** Persistent singly-linked list with head insertion (stack order).
+
+    Layout: head cell [first]; node [value; next].  Pointer 0 is null. *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type t = { head_cell : Addr.t }
+
+let node_bytes = 16
+
+let create (ctx : Ctx.ctx) =
+  let head_cell = ctx.Ctx.alloc 8 in
+  ctx.Ctx.write head_cell 0;
+  { head_cell }
+
+let of_head_cell head_cell = { head_cell }
+let head_cell t = t.head_cell
+
+let push (ctx : Ctx.ctx) t v =
+  let n = ctx.Ctx.alloc node_bytes in
+  ctx.Ctx.write n v;
+  ctx.Ctx.write (n + 8) (ctx.Ctx.read t.head_cell);
+  ctx.Ctx.write t.head_cell n
+
+let pop (ctx : Ctx.ctx) t =
+  let n = ctx.Ctx.read t.head_cell in
+  if n = 0 then None
+  else begin
+    let v = ctx.Ctx.read n in
+    ctx.Ctx.write t.head_cell (ctx.Ctx.read (n + 8));
+    ctx.Ctx.free n;
+    Some v
+  end
+
+let is_empty (ctx : Ctx.ctx) t = ctx.Ctx.read t.head_cell = 0
+
+let iter (ctx : Ctx.ctx) t f =
+  let n = ref (ctx.Ctx.read t.head_cell) in
+  while !n <> 0 do
+    f (ctx.Ctx.read !n);
+    n := ctx.Ctx.read (!n + 8)
+  done
+
+let length ctx t =
+  let n = ref 0 in
+  iter ctx t (fun _ -> incr n);
+  !n
+
+let to_list ctx t =
+  let acc = ref [] in
+  iter ctx t (fun v -> acc := v :: !acc);
+  List.rev !acc
+
+(** Remove the first node holding [v]; [true] if one was removed. *)
+let remove (ctx : Ctx.ctx) t v =
+  let rec go prev n =
+    if n = 0 then false
+    else if ctx.Ctx.read n = v then begin
+      let next = ctx.Ctx.read (n + 8) in
+      if prev = 0 then ctx.Ctx.write t.head_cell next
+      else ctx.Ctx.write (prev + 8) next;
+      ctx.Ctx.free n;
+      true
+    end
+    else go n (ctx.Ctx.read (n + 8))
+  in
+  go 0 (ctx.Ctx.read t.head_cell)

@@ -1,0 +1,19 @@
+(** Persistent singly-linked list with head insertion (stack order). *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type t
+
+val create : Ctx.ctx -> t
+val of_head_cell : Addr.t -> t
+val head_cell : t -> Addr.t
+val push : Ctx.ctx -> t -> int -> unit
+val pop : Ctx.ctx -> t -> int option
+val is_empty : Ctx.ctx -> t -> bool
+val iter : Ctx.ctx -> t -> (int -> unit) -> unit
+val length : Ctx.ctx -> t -> int
+val to_list : Ctx.ctx -> t -> int list
+
+val remove : Ctx.ctx -> t -> int -> bool
+(** Remove the first node holding the value; [true] if one was removed. *)

@@ -1,0 +1,48 @@
+(** Persistent FIFO queue of 8-byte values (linked nodes).
+
+    Layout: header [head; tail; size]; node [value; next]. *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type t = { header : Addr.t }
+
+let node_bytes = 16
+
+let create (ctx : Ctx.ctx) =
+  let header = ctx.Ctx.alloc 24 in
+  ctx.Ctx.write header 0;
+  ctx.Ctx.write (header + 8) 0;
+  ctx.Ctx.write (header + 16) 0;
+  { header }
+
+let size (ctx : Ctx.ctx) t = ctx.Ctx.read (t.header + 16)
+let is_empty ctx t = size ctx t = 0
+
+let push (ctx : Ctx.ctx) t v =
+  let n = ctx.Ctx.alloc node_bytes in
+  ctx.Ctx.write n v;
+  ctx.Ctx.write (n + 8) 0;
+  let tail = ctx.Ctx.read (t.header + 8) in
+  if tail = 0 then ctx.Ctx.write t.header n
+  else ctx.Ctx.write (tail + 8) n;
+  ctx.Ctx.write (t.header + 8) n;
+  ctx.Ctx.write (t.header + 16) (size ctx t + 1)
+
+let pop (ctx : Ctx.ctx) t =
+  let head = ctx.Ctx.read t.header in
+  if head = 0 then None
+  else begin
+    let v = ctx.Ctx.read head in
+    let next = ctx.Ctx.read (head + 8) in
+    ctx.Ctx.write t.header next;
+    if next = 0 then ctx.Ctx.write (t.header + 8) 0;
+    ctx.Ctx.write (t.header + 16) (size ctx t - 1);
+    ctx.Ctx.free head;
+    Some v
+  end
+
+(** Address of a queue over an existing header (root rediscovery). *)
+let of_header header = { header }
+
+let header t = t.header

@@ -1,0 +1,14 @@
+(** Persistent FIFO queue of 8-byte values. *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type t
+
+val create : Ctx.ctx -> t
+val of_header : Addr.t -> t
+val header : t -> Addr.t
+val size : Ctx.ctx -> t -> int
+val is_empty : Ctx.ctx -> t -> bool
+val push : Ctx.ctx -> t -> int -> unit
+val pop : Ctx.ctx -> t -> int option

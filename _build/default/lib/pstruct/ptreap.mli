@@ -1,0 +1,35 @@
+(** Persistent ordered map (treap with deterministic priorities).
+
+    The ordered-map role of STAMP's red-black trees (vacation's tables)
+    with much simpler rebalancing — and therefore smaller transactional
+    write sets.  Priorities are a hash of the key, so runs are
+    deterministic. *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type t
+
+val create : Ctx.ctx -> t
+val of_root_cell : Addr.t -> t
+val root_cell : t -> Addr.t
+val find : Ctx.ctx -> t -> int -> int option
+val mem : Ctx.ctx -> t -> int -> bool
+
+val update : Ctx.ctx -> t -> int -> int -> bool
+(** Overwrite the value of an existing key; [false] if absent (no
+    insertion, no rebalancing — a 1-cell write set). *)
+
+val insert : Ctx.ctx -> t -> int -> int -> unit
+(** Insert or overwrite, rebalancing by rotation. *)
+
+val remove : Ctx.ctx -> t -> int -> bool
+
+val find_ceiling : Ctx.ctx -> t -> int -> (int * int) option
+(** Smallest key [>= k] with its value. *)
+
+val iter : Ctx.ctx -> t -> (int -> int -> unit) -> unit
+(** In increasing key order. *)
+
+val fold : Ctx.ctx -> t -> (int -> int -> 'a -> 'a) -> 'a -> 'a
+val length : Ctx.ctx -> t -> int

@@ -1,0 +1,70 @@
+(** Growable persistent vector of 8-byte cells.
+
+    Layout: header [capacity; length; data pointer]; the data block is
+    reallocated at twice the size when full, with the old contents copied
+    inside the calling transaction — so a crash mid-growth is rolled back
+    or replayed like any other transactional write. *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type t = { header : Addr.t }
+
+let create (ctx : Ctx.ctx) ?(capacity = 8) () =
+  assert (capacity > 0);
+  let header = ctx.Ctx.alloc 24 in
+  let data = ctx.Ctx.alloc (capacity * 8) in
+  ctx.Ctx.write header capacity;
+  ctx.Ctx.write (header + 8) 0;
+  ctx.Ctx.write (header + 16) data;
+  { header }
+
+let of_header header = { header }
+let header t = t.header
+let capacity (ctx : Ctx.ctx) t = ctx.Ctx.read t.header
+let length (ctx : Ctx.ctx) t = ctx.Ctx.read (t.header + 8)
+let data (ctx : Ctx.ctx) t = ctx.Ctx.read (t.header + 16)
+
+let get (ctx : Ctx.ctx) t i =
+  if i < 0 || i >= length ctx t then
+    Fmt.invalid_arg "Pvector.get %d/%d" i (length ctx t);
+  ctx.Ctx.read (data ctx t + (i * 8))
+
+let set (ctx : Ctx.ctx) t i v =
+  if i < 0 || i >= length ctx t then
+    Fmt.invalid_arg "Pvector.set %d/%d" i (length ctx t);
+  ctx.Ctx.write (data ctx t + (i * 8)) v
+
+let push (ctx : Ctx.ctx) t v =
+  let len = length ctx t in
+  let cap = capacity ctx t in
+  if len = cap then begin
+    (* transactional growth: the copy is logged like any other write, so
+       crash-atomicity extends to the reallocation *)
+    let old = data ctx t in
+    let fresh = ctx.Ctx.alloc (cap * 2 * 8) in
+    for i = 0 to len - 1 do
+      ctx.Ctx.write (fresh + (i * 8)) (ctx.Ctx.read (old + (i * 8)))
+    done;
+    ctx.Ctx.write t.header (cap * 2);
+    ctx.Ctx.write (t.header + 16) fresh;
+    ctx.Ctx.free old
+  end;
+  ctx.Ctx.write (data ctx t + (len * 8)) v;
+  ctx.Ctx.write (t.header + 8) (len + 1)
+
+let pop (ctx : Ctx.ctx) t =
+  let len = length ctx t in
+  if len = 0 then None
+  else begin
+    let v = ctx.Ctx.read (data ctx t + ((len - 1) * 8)) in
+    ctx.Ctx.write (t.header + 8) (len - 1);
+    Some v
+  end
+
+let iter (ctx : Ctx.ctx) t f =
+  for i = 0 to length ctx t - 1 do
+    f (get ctx t i)
+  done
+
+let to_list ctx t = List.init (length ctx t) (fun i -> get ctx t i)

@@ -1,0 +1,24 @@
+(** Growable persistent vector of 8-byte cells.
+
+    Growth reallocates the data block at double capacity and copies inside
+    the calling transaction, so crash atomicity extends to reallocation. *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type t
+
+val create : Ctx.ctx -> ?capacity:int -> unit -> t
+val of_header : Addr.t -> t
+val header : t -> Addr.t
+val capacity : Ctx.ctx -> t -> int
+val length : Ctx.ctx -> t -> int
+
+val get : Ctx.ctx -> t -> int -> int
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : Ctx.ctx -> t -> int -> int -> unit
+val push : Ctx.ctx -> t -> int -> unit
+val pop : Ctx.ctx -> t -> int option
+val iter : Ctx.ctx -> t -> (int -> unit) -> unit
+val to_list : Ctx.ctx -> t -> int list

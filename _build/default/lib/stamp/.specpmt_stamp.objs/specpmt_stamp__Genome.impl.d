@@ -1,0 +1,1 @@
+lib/stamp/genome.ml: Array Ctx Parray Phashtbl Rng Specpmt_pstruct Specpmt_txn Wtypes

@@ -1,0 +1,1 @@
+lib/stamp/intruder.ml: Array Ctx Phashtbl Pqueue Rng Specpmt_pstruct Specpmt_txn Wtypes

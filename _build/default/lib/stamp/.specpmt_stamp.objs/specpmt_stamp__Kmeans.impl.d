@@ -1,0 +1,1 @@
+lib/stamp/kmeans.ml: Array Ctx List Parray Rng Specpmt_pstruct Specpmt_txn Wtypes

@@ -1,0 +1,1 @@
+lib/stamp/labyrinth.ml: Array Ctx List Parray Queue Rng Specpmt_pstruct Specpmt_txn Wtypes

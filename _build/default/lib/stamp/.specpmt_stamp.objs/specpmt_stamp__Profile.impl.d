@@ -1,0 +1,1 @@
+lib/stamp/profile.ml: Addr Ctx Fmt Hashtbl Specpmt_pmem Specpmt_txn

@@ -1,0 +1,1 @@
+lib/stamp/profile.mli: Ctx Format Specpmt_txn

@@ -1,0 +1,1 @@
+lib/stamp/rng.ml:

@@ -1,0 +1,1 @@
+lib/stamp/ssca2.ml: Array Ctx Parray Rng Specpmt_pstruct Specpmt_txn Wtypes

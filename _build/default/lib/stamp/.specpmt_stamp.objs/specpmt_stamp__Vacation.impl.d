@@ -1,0 +1,1 @@
+lib/stamp/vacation.ml: Array Ctx Ptreap Rng Specpmt_pstruct Specpmt_txn Wtypes

@@ -1,0 +1,1 @@
+lib/stamp/workload.ml: Genome Intruder Kmeans Labyrinth List Specpmt_pmalloc Specpmt_txn Ssca2 Vacation Wtypes Yada

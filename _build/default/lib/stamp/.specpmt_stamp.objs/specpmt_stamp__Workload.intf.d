@@ -1,0 +1,1 @@
+lib/stamp/workload.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

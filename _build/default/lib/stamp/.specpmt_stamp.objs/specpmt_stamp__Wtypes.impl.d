@@ -1,0 +1,1 @@
+lib/stamp/wtypes.ml: Ctx Heap Specpmt_pmalloc Specpmt_pmem Specpmt_txn

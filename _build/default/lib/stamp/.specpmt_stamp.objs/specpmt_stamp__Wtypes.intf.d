@@ -1,0 +1,1 @@
+lib/stamp/wtypes.mli: Ctx Heap Specpmt_pmalloc Specpmt_txn

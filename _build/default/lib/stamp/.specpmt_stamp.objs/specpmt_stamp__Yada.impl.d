@@ -1,0 +1,1 @@
+lib/stamp/yada.ml: Ctx Parray Queue Rng Specpmt_pstruct Specpmt_txn Wtypes

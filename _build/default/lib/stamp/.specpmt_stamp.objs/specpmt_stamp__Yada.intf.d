@@ -1,0 +1,1 @@
+lib/stamp/yada.mli: Wtypes

@@ -1,0 +1,110 @@
+(** genome — gene sequencing (STAMP).
+
+    A gene is a string of nucleotides; the input is an oversampled set of
+    fixed-length segments.  Phase 1 deduplicates segments into a hash set
+    (one small transaction per segment, the dominant transaction count);
+    phase 2 indexes unique segments by their prefix; phase 3 links each
+    segment to the one overlapping its suffix, rebuilding the sequence.
+    Transactions are tiny (the paper reports 7.2 B average write set) and
+    very numerous. *)
+
+open Specpmt_txn
+open Specpmt_pstruct
+
+let seg_len = 16 (* nucleotides per segment, 2 bits each *)
+let overlap = 12
+let step = seg_len - overlap
+
+let sizes = function
+  | Wtypes.Quick -> (256, 2)
+  | Wtypes.Small -> (8 * 1024, 3)
+  | Wtypes.Full -> (64 * 1024, 4)
+
+(* pack nucleotides [i, i+len) of the gene into an int *)
+let pack gene i len =
+  let v = ref 0 in
+  for k = 0 to len - 1 do
+    v := (!v lsl 2) lor gene.((i + k) mod Array.length gene)
+  done;
+  !v
+
+let prepare scale heap (backend : Ctx.backend) =
+  let gene_len, dup = sizes scale in
+  let rng = Rng.create 0xD9A in
+  let gene = Array.init gene_len (fun _ -> Rng.int rng 4) in
+  (* oversampled segment starts: every aligned position, [dup] times over *)
+  let starts = ref [] in
+  for d = 1 to dup do
+    let offset = Rng.int rng step in
+    ignore offset;
+    let i = ref 0 in
+    while !i < gene_len - seg_len do
+      starts := (!i + (d * 0)) :: !starts;
+      i := !i + step
+    done
+  done;
+  let starts = Array.of_list !starts in
+  (* shuffle deterministically *)
+  for i = Array.length starts - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = starts.(i) in
+    starts.(i) <- starts.(j);
+    starts.(j) <- t
+  done;
+  (* persistent state: the unique-segment set, the prefix index, and the
+     segment table (id -> [start, next]) *)
+  let segments, unique_set, prefix_idx, next_tbl =
+    backend.Ctx.run_tx (fun ctx ->
+        ( Parray.create ctx (2 * Array.length starts),
+          Phashtbl.create ctx 1024,
+          Phashtbl.create ctx 1024,
+          Parray.create ctx (2 * Array.length starts) ))
+  in
+  let n_unique = ref 0 in
+  let work () =
+    (* phase 1: deduplicate (one tx per segment) *)
+    Array.iter
+      (fun s ->
+        Wtypes.compute heap (float_of_int (4 * seg_len));
+        backend.Ctx.run_tx (fun ctx ->
+            let key = pack gene s seg_len in
+            if Phashtbl.add_if_absent ctx unique_set key !n_unique then begin
+              Parray.set ctx segments !n_unique s;
+              incr n_unique
+            end))
+      starts;
+    (* phase 2: index unique segments by prefix *)
+    for id = 0 to !n_unique - 1 do
+      Wtypes.compute heap (float_of_int (4 * overlap));
+      backend.Ctx.run_tx (fun ctx ->
+          let s = Parray.get ctx segments id in
+          ignore (Phashtbl.add_if_absent ctx prefix_idx (pack gene s overlap) id))
+    done;
+    (* phase 3: overlap matching — link id to the segment starting with
+       its suffix *)
+    for id = 0 to !n_unique - 1 do
+      Wtypes.compute heap (float_of_int (4 * overlap));
+      backend.Ctx.run_tx (fun ctx ->
+          let s = Parray.get ctx segments id in
+          let suffix = pack gene (s + step) overlap in
+          match Phashtbl.find ctx prefix_idx suffix with
+          | Some succ when succ <> id -> Parray.set ctx next_tbl id (succ + 1)
+          | Some _ | None -> Parray.set ctx next_tbl id 0)
+    done
+  in
+  let checksum () =
+    let ctx = Ctx.raw_ctx heap in
+    let acc = ref (Wtypes.mix 0 !n_unique) in
+    for id = 0 to !n_unique - 1 do
+      acc := Wtypes.mix !acc (Parray.get ctx next_tbl id)
+    done;
+    !acc
+  in
+  { Wtypes.work; checksum }
+
+let workload =
+  {
+    Wtypes.name = "genome";
+    description = "gene sequencing: segment dedup + overlap matching";
+    prepare;
+  }

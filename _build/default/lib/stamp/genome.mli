@@ -1,0 +1,4 @@
+(** See the implementation header and {!Workload} for the kernel's
+    description. *)
+
+val workload : Wtypes.t

@@ -1,0 +1,91 @@
+(** intruder — network intrusion detection (STAMP).
+
+    A stream of packet fragments is reassembled per flow in a shared
+    dictionary; completed flows are scanned by the detector and attacks
+    are recorded.  One transaction per packet: dictionary lookup/insert,
+    fragment accumulation, and on completion the flow is retired — small
+    write sets (20.5 B average in the paper) at very high transaction
+    counts. *)
+
+open Specpmt_txn
+open Specpmt_pstruct
+
+let sizes = function
+  | Wtypes.Quick -> 128
+  | Wtypes.Small -> 6 * 1024
+  | Wtypes.Full -> 48 * 1024
+
+(* a flow record: [seen; expected; acc] *)
+let flow_bytes = 24
+
+let prepare scale heap (backend : Ctx.backend) =
+  let flows = sizes scale in
+  let rng = Rng.create 0x1D5 in
+  (* generate fragments: flow f has 1..4 fragments, payload hashes *)
+  let packets = ref [] in
+  for f = 1 to flows do
+    let k = 1 + Rng.int rng 4 in
+    for frag = 0 to k - 1 do
+      packets := (f, k, frag, Rng.int rng 1_000_000) :: !packets
+    done
+  done;
+  let packets = Array.of_list !packets in
+  for i = Array.length packets - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = packets.(i) in
+    packets.(i) <- packets.(j);
+    packets.(j) <- t
+  done;
+  let decoder, attacks =
+    backend.Ctx.run_tx (fun ctx ->
+        (Phashtbl.create ctx 512, Pqueue.create ctx))
+  in
+  let work () =
+    Array.iter
+      (fun (flow, expected, _frag, payload) ->
+        Wtypes.compute heap 120.0;
+        backend.Ctx.run_tx (fun ctx ->
+            let rec_addr =
+              match Phashtbl.find ctx decoder flow with
+              | Some addr -> addr
+              | None ->
+                  let addr = ctx.Ctx.alloc flow_bytes in
+                  ctx.Ctx.write addr 0;
+                  ctx.Ctx.write (addr + 8) expected;
+                  ctx.Ctx.write (addr + 16) 0;
+                  ignore (Phashtbl.add_if_absent ctx decoder flow addr);
+                  addr
+            in
+            let seen = ctx.Ctx.read rec_addr + 1 in
+            ctx.Ctx.write rec_addr seen;
+            ctx.Ctx.write (rec_addr + 16)
+              (Wtypes.mix (ctx.Ctx.read (rec_addr + 16)) payload);
+            if seen = ctx.Ctx.read (rec_addr + 8) then begin
+              (* flow complete: detect and retire *)
+              let digest = ctx.Ctx.read (rec_addr + 16) in
+              if digest land 15 = 0 then Pqueue.push ctx attacks flow;
+              ignore (Phashtbl.remove ctx decoder flow);
+              ctx.Ctx.free rec_addr
+            end))
+      packets
+  in
+  let checksum () =
+    let ctx = Ctx.raw_ctx heap in
+    let acc = ref (Wtypes.mix 0 (Pqueue.size ctx attacks)) in
+    let rec drainless node =
+      if node <> 0 then begin
+        acc := Wtypes.mix !acc (ctx.Ctx.read node);
+        drainless (ctx.Ctx.read (node + 8))
+      end
+    in
+    drainless (ctx.Ctx.read (Pqueue.header attacks));
+    Wtypes.mix !acc (Phashtbl.length ctx decoder)
+  in
+  { Wtypes.work; checksum }
+
+let workload =
+  {
+    Wtypes.name = "intruder";
+    description = "network intrusion detection: flow reassembly + scan";
+    prepare;
+  }

@@ -1,0 +1,101 @@
+(** kmeans — partition-based clustering (STAMP).
+
+    Integer (fixed-point) k-means: each point transaction accumulates its
+    coordinates into the chosen cluster's sums — a write set of
+    [dims + 1] cells (the paper's 101 B average corresponds to our 12
+    dimensions plus the count), making kmeans the write-intensive,
+    large-transaction member of the suite.  The low/high-contention
+    variants differ in cluster count, as in STAMP. *)
+
+open Specpmt_txn
+open Specpmt_pstruct
+
+let dims = 12
+
+let sizes = function
+  | Wtypes.Quick -> (96, 2)
+  | Wtypes.Small -> (4 * 1024, 3)
+  | Wtypes.Full -> (24 * 1024, 4)
+
+let prepare ~clusters scale heap (backend : Ctx.backend) =
+  let points, iters = sizes scale in
+  let rng = Rng.create 0x4EA5 in
+  let coords =
+    Array.init points (fun _ -> Array.init dims (fun _ -> Rng.int rng 1024))
+  in
+  (* persistent: centers (k*dims), accumulators (k*(dims+1)) *)
+  let centers, acc =
+    backend.Ctx.run_tx (fun ctx ->
+        let centers = Parray.create ctx (clusters * dims) in
+        let acc = Parray.create ctx (clusters * (dims + 1)) in
+        for c = 0 to clusters - 1 do
+          for d = 0 to dims - 1 do
+            Parray.set ctx centers ((c * dims) + d) coords.(c * 7 mod points).(d)
+          done
+        done;
+        Parray.fill ctx acc 0;
+        (centers, acc))
+  in
+  let work () =
+    for _iter = 1 to iters do
+      Array.iter
+        (fun p ->
+          (* nearest center: pure reads *)
+          let best = ref 0 and best_d = ref max_int in
+          let ctx = Ctx.raw_ctx heap in
+          for c = 0 to clusters - 1 do
+            let d2 = ref 0 in
+            for d = 0 to dims - 1 do
+              let diff = p.(d) - Parray.get ctx centers ((c * dims) + d) in
+              d2 := !d2 + (diff * diff)
+            done;
+            if !d2 < !best_d then begin
+              best_d := !d2;
+              best := c
+            end
+          done;
+          let c = !best in
+          Wtypes.compute heap (float_of_int (3 * clusters * dims));
+          (* the transaction: accumulate into the chosen cluster *)
+          backend.Ctx.run_tx (fun ctx ->
+              for d = 0 to dims - 1 do
+                let a = (c * (dims + 1)) + d in
+                Parray.set ctx acc a (Parray.get ctx acc a + p.(d))
+              done;
+              let cnt = (c * (dims + 1)) + dims in
+              Parray.set ctx acc cnt (Parray.get ctx acc cnt + 1)))
+        coords;
+      (* recompute centers, one transaction per cluster *)
+      for c = 0 to clusters - 1 do
+        backend.Ctx.run_tx (fun ctx ->
+            let cnt = Parray.get ctx acc ((c * (dims + 1)) + dims) in
+            if cnt > 0 then
+              for d = 0 to dims - 1 do
+                Parray.set ctx centers ((c * dims) + d)
+                  (Parray.get ctx acc ((c * (dims + 1)) + d) / cnt)
+              done;
+            for d = 0 to dims do
+              Parray.set ctx acc ((c * (dims + 1)) + d) 0
+            done)
+      done
+    done
+  in
+  let checksum () =
+    let ctx = Ctx.raw_ctx heap in
+    List.fold_left Wtypes.mix 0 (Parray.to_list ctx centers)
+  in
+  { Wtypes.work; checksum }
+
+let low =
+  {
+    Wtypes.name = "kmeans-low";
+    description = "k-means clustering, low contention (32 clusters)";
+    prepare = (fun scale heap b -> prepare ~clusters:32 scale heap b);
+  }
+
+let high =
+  {
+    Wtypes.name = "kmeans-high";
+    description = "k-means clustering, high contention (8 clusters)";
+    prepare = (fun scale heap b -> prepare ~clusters:8 scale heap b);
+  }

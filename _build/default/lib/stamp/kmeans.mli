@@ -1,0 +1,7 @@
+(** k-means clustering (STAMP); see the implementation header. *)
+
+val low : Wtypes.t
+(** 32 clusters (low contention). *)
+
+val high : Wtypes.t
+(** 8 clusters (high contention). *)

@@ -1,0 +1,90 @@
+(** labyrinth — maze routing (STAMP, Lee's algorithm).
+
+    Each transaction routes one source/destination pair through a shared
+    grid: a breadth-first expansion over free cells followed by writing
+    the whole path into the grid — few transactions with very large write
+    sets (1420 B average in the paper, by far the largest of the suite). *)
+
+open Specpmt_txn
+open Specpmt_pstruct
+
+let sizes = function
+  | Wtypes.Quick -> (16, 8)
+  | Wtypes.Small -> (48, 64)
+  | Wtypes.Full -> (96, 192)
+
+let prepare scale heap (backend : Ctx.backend) =
+  let side, routes = sizes scale in
+  let rng = Rng.create 0x1AB in
+  let grid =
+    backend.Ctx.run_tx (fun ctx ->
+        let g = Parray.create ctx (side * side) in
+        Parray.fill ctx g 0;
+        g)
+  in
+  let pairs =
+    Array.init routes (fun _ ->
+        let p () = (Rng.int rng side, Rng.int rng side) in
+        (p (), p ()))
+  in
+  let routed = ref 0 in
+  let work () =
+    Array.iteri
+      (fun i ((sx, sy), (dx, dy)) ->
+        let path_id = i + 1 in
+        backend.Ctx.run_tx (fun ctx ->
+            (* BFS over free cells (transactional reads, volatile queue) *)
+            let idx x y = (y * side) + x in
+            let prev = Array.make (side * side) (-1) in
+            let q = Queue.create () in
+            let free x y =
+              Parray.get ctx grid (idx x y) = 0
+              || (x = sx && y = sy)
+              || (x = dx && y = dy)
+            in
+            if free sx sy && free dx dy then begin
+              prev.(idx sx sy) <- idx sx sy;
+              Queue.push (sx, sy) q;
+              let found = ref false in
+              while (not !found) && not (Queue.is_empty q) do
+                let x, y = Queue.pop q in
+                Wtypes.compute heap 12.0;
+                if x = dx && y = dy then found := true
+                else
+                  List.iter
+                    (fun (nx, ny) ->
+                      if
+                        nx >= 0 && nx < side && ny >= 0 && ny < side
+                        && prev.(idx nx ny) < 0
+                        && free nx ny
+                      then begin
+                        prev.(idx nx ny) <- idx x y;
+                        Queue.push (nx, ny) q
+                      end)
+                    [ (x + 1, y); (x - 1, y); (x, y + 1); (x, y - 1) ]
+              done;
+              if !found then begin
+                (* write the path into the grid *)
+                incr routed;
+                let cell = ref (idx dx dy) in
+                while prev.(!cell) <> !cell do
+                  Parray.set ctx grid !cell path_id;
+                  cell := prev.(!cell)
+                done;
+                Parray.set ctx grid !cell path_id
+              end
+            end))
+      pairs
+  in
+  let checksum () =
+    let ctx = Ctx.raw_ctx heap in
+    List.fold_left Wtypes.mix !routed (Parray.to_list ctx grid)
+  in
+  { Wtypes.work; checksum }
+
+let workload =
+  {
+    Wtypes.name = "labyrinth";
+    description = "maze routing: BFS + whole-path grid writes";
+    prepare;
+  }

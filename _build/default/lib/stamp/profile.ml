@@ -1,0 +1,49 @@
+(** Transaction profiling (paper Table 2): wraps a backend and counts, per
+    transaction, the number of update operations and the unique cells
+    written (the write-set size in bytes). *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type counters = {
+  mutable txs : int;
+  mutable updates : int;
+  mutable ws_bytes : int; (* sum over txs of unique cells * 8 *)
+}
+
+let fresh () = { txs = 0; updates = 0; ws_bytes = 0 }
+
+let avg_tx_bytes c =
+  if c.txs = 0 then 0.0 else float_of_int c.ws_bytes /. float_of_int c.txs
+
+let pp ppf c =
+  Fmt.pf ppf "%d txs, %d updates, %.1f B/tx" c.txs c.updates (avg_tx_bytes c)
+
+(** [wrap backend] counts transactional writes flowing through the
+    returned backend. *)
+let wrap (b : Ctx.backend) =
+  let c = fresh () in
+  let cells : (Addr.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let wrap_ctx (ctx : Ctx.ctx) =
+    {
+      ctx with
+      Ctx.write =
+        (fun a v ->
+          c.updates <- c.updates + 1;
+          Hashtbl.replace cells a ();
+          ctx.Ctx.write a v);
+    }
+  in
+  let b' =
+    {
+      b with
+      Ctx.run_tx =
+        (fun f ->
+          Hashtbl.reset cells;
+          let r = b.Ctx.run_tx (fun ctx -> f (wrap_ctx ctx)) in
+          c.txs <- c.txs + 1;
+          c.ws_bytes <- c.ws_bytes + (8 * Hashtbl.length cells);
+          r);
+    }
+  in
+  (b', c)

@@ -1,0 +1,20 @@
+(** Transaction profiling (paper Table 2).
+
+    Wraps a backend so that every transaction flowing through it counts
+    its update operations and unique cells written (the write-set size in
+    bytes). *)
+
+open Specpmt_txn
+
+type counters = {
+  mutable txs : int;
+  mutable updates : int;
+  mutable ws_bytes : int;  (** sum over transactions of unique cells x 8 *)
+}
+
+val fresh : unit -> counters
+val avg_tx_bytes : counters -> float
+val pp : Format.formatter -> counters -> unit
+
+val wrap : Ctx.backend -> Ctx.backend * counters
+(** The returned backend behaves identically; the counters accumulate. *)

@@ -1,0 +1,23 @@
+(** Deterministic xorshift PRNG for workload generation.
+
+    Not [Random]: workloads must produce identical inputs across backends
+    so that final-state checksums are comparable. *)
+
+type t = { mutable s : int }
+
+let create seed = { s = (seed * 2654435761) lor 1 }
+
+let next t =
+  let x = t.s in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  t.s <- (if x = 0 then 0x9E3779B9 else x);
+  t.s
+
+let int t bound =
+  assert (bound > 0);
+  next t mod bound
+
+let bool t = next t land 1 = 1

@@ -1,0 +1,17 @@
+(** Deterministic xorshift PRNG for workload generation.
+
+    Workloads must produce identical inputs across runs and backends so
+    that final-state checksums are comparable. *)
+
+type t
+
+val create : int -> t
+(** Seeded; the same seed always produces the same stream. *)
+
+val next : t -> int
+(** Next positive pseudo-random integer. *)
+
+val int : t -> int -> int
+(** [int t bound] in [\[0, bound)]; [bound > 0]. *)
+
+val bool : t -> bool

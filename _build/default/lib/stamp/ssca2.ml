@@ -1,0 +1,59 @@
+(** ssca2 — scalable synthetic compact applications, kernel 1 (STAMP):
+    graph construction.  One transaction per edge appends it to a shared
+    adjacency structure: a slot-cursor bump plus a degree increment —
+    4-byte-scale write sets (16 B in the paper) at high transaction
+    count. *)
+
+open Specpmt_txn
+open Specpmt_pstruct
+
+let sizes = function
+  | Wtypes.Quick -> (64, 256)
+  | Wtypes.Small -> (2 * 1024, 12 * 1024)
+  | Wtypes.Full -> (16 * 1024, 96 * 1024)
+
+let prepare scale heap (backend : Ctx.backend) =
+  let nodes, edges = sizes scale in
+  let rng = Rng.create 0x55CA2 in
+  let edge_list =
+    Array.init edges (fun _ -> (Rng.int rng nodes, Rng.int rng nodes))
+  in
+  let degree, edge_store, cursor =
+    backend.Ctx.run_tx (fun ctx ->
+        let degree = Parray.create ctx nodes in
+        Parray.fill ctx degree 0;
+        let store = Parray.create ctx (2 * edges) in
+        let cursor = Parray.create ctx 1 in
+        Parray.set ctx cursor 0 0;
+        (degree, store, cursor))
+  in
+  let work () =
+    Array.iter
+      (fun (u, v) ->
+        Wtypes.compute heap 60.0;
+        backend.Ctx.run_tx (fun ctx ->
+            let i = Parray.get ctx cursor 0 in
+            Parray.set ctx edge_store i ((u * nodes) + v);
+            Parray.set ctx cursor 0 (i + 1);
+            Parray.set ctx degree u (Parray.get ctx degree u + 1)))
+      edge_list
+  in
+  let checksum () =
+    let ctx = Ctx.raw_ctx heap in
+    let acc = ref (Parray.get ctx cursor 0) in
+    for i = 0 to nodes - 1 do
+      acc := Wtypes.mix !acc (Parray.get ctx degree i)
+    done;
+    for i = 0 to Parray.get ctx cursor 0 - 1 do
+      acc := Wtypes.mix !acc (Parray.get ctx edge_store i)
+    done;
+    !acc
+  in
+  { Wtypes.work; checksum }
+
+let workload =
+  {
+    Wtypes.name = "ssca2";
+    description = "graph construction kernel: per-edge adjacency appends";
+    prepare;
+  }

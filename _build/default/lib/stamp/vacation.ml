@@ -1,0 +1,148 @@
+(** vacation — travel reservation system (STAMP).
+
+    An in-memory database of cars, rooms and flights (ordered maps keyed
+    by item id, values packing [free; price]) and a customer table mapping
+    each customer to a linked reservation list.  A transaction queries a
+    few candidate items per table (ordered-map lookups), reserves the
+    cheapest available one and appends it to the customer's list — the
+    44–68 B write sets of the paper.  The low/high variants differ in
+    queries per transaction and id-range breadth, like STAMP's -q/-u
+    parameters. *)
+
+open Specpmt_txn
+open Specpmt_pstruct
+
+type variant = { queries : int; span : int; rounds : int }
+
+let sizes = function
+  | Wtypes.Quick -> (64, 128)
+  | Wtypes.Small -> (1024, 6 * 1024)
+  | Wtypes.Full -> (8 * 1024, 48 * 1024)
+
+let pack ~free ~price = (free lsl 20) lor price
+let free_of v = v lsr 20
+let price_of v = v land 0xFFFFF
+
+let prepare ~variant scale heap (backend : Ctx.backend) =
+  let relations, txs = sizes scale in
+  let rng = Rng.create 0xACA710 in
+  let tables, customers =
+    backend.Ctx.run_tx (fun ctx ->
+        let mk () =
+          let t = Ptreap.create ctx in
+          for id = 1 to relations do
+            Ptreap.insert ctx t id
+              (pack ~free:(1 + Rng.int rng 100) ~price:(50 + Rng.int rng 450))
+          done;
+          t
+        in
+        let cars = mk () and rooms = mk () and flights = mk () in
+        let customers = Ptreap.create ctx in
+        ([| cars; rooms; flights |], customers))
+  in
+  let actions =
+    Array.init txs (fun i ->
+        let kind = Rng.int rng 100 in
+        let customer = 1 + Rng.int rng relations in
+        let table = Rng.int rng 3 in
+        let base_id = 1 + Rng.int rng relations in
+        ignore i;
+        (kind, customer, table, base_id))
+  in
+  let work () =
+    Array.iter
+      (fun (kind, customer, table, base_id) ->
+        Wtypes.compute heap 350.0;
+        backend.Ctx.run_tx (fun ctx ->
+            if kind < 90 then
+              (* make [rounds] reservations: probe [queries] candidate ids
+                 each, pick the cheapest available *)
+              for round = 0 to variant.rounds - 1 do
+              let t = tables.((table + round) mod 3) in
+              let best = ref None in
+              for q = 0 to variant.queries - 1 do
+                let id = 1 + ((base_id + (q * variant.span)) mod relations) in
+                match Ptreap.find_ceiling ctx t id with
+                | Some (k, v) when free_of v > 0 -> (
+                    match !best with
+                    | Some (_, bv) when price_of bv <= price_of v -> ()
+                    | _ -> best := Some (k, v))
+                | Some _ | None -> ()
+              done;
+              (match !best with
+              | None -> ()
+              | Some (id, v) ->
+                  ignore
+                    (Ptreap.update ctx t id
+                       (pack ~free:(free_of v - 1) ~price:(price_of v)));
+                  (* append to the customer's reservation list *)
+                  let node = ctx.Ctx.alloc 16 in
+                  ctx.Ctx.write node ((table * relations * 2) + id);
+                  let head =
+                    match Ptreap.find ctx customers customer with
+                    | Some h -> h
+                    | None -> 0
+                  in
+                  ctx.Ctx.write (node + 8) head;
+                  if head = 0 then Ptreap.insert ctx customers customer node
+                  else ignore (Ptreap.update ctx customers customer node))
+              done
+            else if kind < 95 then begin
+              (* add capacity *)
+              let t = tables.(table) in
+              match Ptreap.find ctx t base_id with
+              | Some v ->
+                  ignore
+                    (Ptreap.update ctx t base_id
+                       (pack ~free:(free_of v + 1) ~price:(price_of v)))
+              | None -> ()
+            end
+            else begin
+              (* retire a customer: free the reservation list *)
+              match Ptreap.find ctx customers customer with
+              | None -> ()
+              | Some head ->
+                  let node = ref head in
+                  while !node <> 0 do
+                    let next = ctx.Ctx.read (!node + 8) in
+                    ctx.Ctx.free !node;
+                    node := next
+                  done;
+                  ignore (Ptreap.remove ctx customers customer)
+            end))
+      actions
+  in
+  let checksum () =
+    let ctx = Ctx.raw_ctx heap in
+    let acc = ref 0 in
+    Array.iter
+      (fun t -> Ptreap.iter ctx t (fun k v -> acc := Wtypes.mix !acc (k + v)))
+      tables;
+    Ptreap.iter ctx customers (fun c head ->
+        acc := Wtypes.mix !acc c;
+        let node = ref head in
+        while !node <> 0 do
+          acc := Wtypes.mix !acc (ctx.Ctx.read !node);
+          node := ctx.Ctx.read (!node + 8)
+        done);
+    !acc
+  in
+  { Wtypes.work; checksum }
+
+let low =
+  {
+    Wtypes.name = "vacation-low";
+    description = "travel reservations, low contention (2 queries/tx)";
+    prepare =
+      (fun scale heap b ->
+        prepare ~variant:{ queries = 2; span = 3; rounds = 1 } scale heap b);
+  }
+
+let high =
+  {
+    Wtypes.name = "vacation-high";
+    description = "travel reservations, high contention (6 queries/tx)";
+    prepare =
+      (fun scale heap b ->
+        prepare ~variant:{ queries = 6; span = 1; rounds = 2 } scale heap b);
+  }

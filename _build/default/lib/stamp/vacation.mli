@@ -1,0 +1,7 @@
+(** Travel reservation system (STAMP); see the implementation header. *)
+
+val low : Wtypes.t
+(** 2 queries, 1 reservation per transaction. *)
+
+val high : Wtypes.t
+(** 6 queries, up to 2 reservations per transaction. *)

@@ -1,0 +1,29 @@
+type scale = Wtypes.scale = Quick | Small | Full
+
+type prepared = Wtypes.prepared = {
+  work : unit -> unit;
+  checksum : unit -> int;
+}
+
+type t = Wtypes.t = {
+  name : string;
+  description : string;
+  prepare : scale -> Specpmt_pmalloc.Heap.t -> Specpmt_txn.Ctx.backend -> prepared;
+}
+
+let all =
+  [
+    Genome.workload;
+    Intruder.workload;
+    Kmeans.low;
+    Kmeans.high;
+    Labyrinth.workload;
+    Ssca2.workload;
+    Vacation.low;
+    Vacation.high;
+    Yada.workload;
+  ]
+
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let compute_scale = Wtypes.compute_scale

@@ -1,0 +1,44 @@
+(** The STAMP workload suite (paper Section 7.1.1), ported to the
+    transactional interface.
+
+    Every application is reimplemented around the same transactional write
+    profile as the original (Table 2's transaction counts and write-set
+    sizes at full scale), runs unchanged against any software or hardware
+    scheme, and is deterministic: the final-state checksum of a run only
+    depends on the workload and scale, never on the backend — which is
+    itself a correctness check exercised by the test suite. *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+(** Input scale: [Quick] for unit tests, [Small] for default benchmark
+    runs, [Full] for longer, paper-shaped runs. *)
+type scale = Quick | Small | Full
+
+type prepared = {
+  work : unit -> unit;
+      (** the measured transactional phase; every durable update goes
+          through the backend *)
+  checksum : unit -> int;
+      (** digest of the final persistent state (raw reads, unmetered) *)
+}
+
+type t = {
+  name : string;
+  description : string;
+  prepare : scale -> Heap.t -> Ctx.backend -> prepared;
+      (** build the input and initial persistent state (setup is performed
+          through transactions as well, so speculative backends have
+          snapshot coverage of all initial data, cf. Section 4.3.2 — but
+          it is not part of the measured phase) *)
+}
+
+val all : t list
+(** genome, intruder, kmeans-low, kmeans-high, labyrinth, ssca2,
+    vacation-low, vacation-high, yada — the nine rows of the figures. *)
+
+val find : string -> t option
+
+val compute_scale : float ref
+(** Multiplier on the workloads' modelled compute time (see the ablation
+    bench); 1.0 by default. *)

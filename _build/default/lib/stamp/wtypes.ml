@@ -1,0 +1,36 @@
+(** Shared workload types (see {!Workload} for documentation). *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type scale = Quick | Small | Full
+
+type prepared = { work : unit -> unit; checksum : unit -> int }
+
+type t = {
+  name : string;
+  description : string;
+  prepare : scale -> Heap.t -> Ctx.backend -> prepared;
+}
+
+(** Combine ints into a running digest. *)
+let mix acc v =
+  let h = (acc lxor v) * 0x100000001B3 in
+  h land max_int
+
+(** Charge algorithmic (non-memory) work to the simulated clock.  The
+    STAMP applications spend much of their time computing between
+    transactional updates (hashing, distance evaluation, path search...);
+    the OCaml computation itself is invisible to the device model, so the
+    workloads account for it explicitly.  Without this, crash-consistency
+    overheads relative to the raw baseline would be meaninglessly
+    inflated. *)
+let compute_scale = ref 1.0
+(** Global multiplier on workload compute charges.  The paper's software
+    figures come from a real machine (deep computation relative to
+    persistence cost) while its hardware figures come from gem5 with
+    simulator inputs; benchmarks can move this knob to explore that
+    compute-to-persistence sensitivity (see the ablation bench). *)
+
+let compute heap ns =
+  Specpmt_pmem.Pmem.charge_ns (Heap.pmem heap) (ns *. !compute_scale)

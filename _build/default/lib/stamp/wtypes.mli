@@ -1,0 +1,26 @@
+(** Shared workload types and helpers (documented in {!Workload}). *)
+
+open Specpmt_pmalloc
+open Specpmt_txn
+
+type scale = Quick | Small | Full
+
+type prepared = { work : unit -> unit; checksum : unit -> int }
+
+type t = {
+  name : string;
+  description : string;
+  prepare : scale -> Heap.t -> Ctx.backend -> prepared;
+}
+
+val mix : int -> int -> int
+(** Fold a value into a running digest (FNV-style). *)
+
+val compute_scale : float ref
+(** Global multiplier on workload compute charges (see the ablation
+    bench). *)
+
+val compute : Heap.t -> float -> unit
+(** Charge algorithmic (non-memory) work to the simulated clock: the STAMP
+    applications spend much of their time computing between transactional
+    updates, invisible to the device model. *)

@@ -1,0 +1,102 @@
+(** yada — Delaunay mesh refinement (STAMP, Ruppert's algorithm).
+
+    A pool of triangles with a quality measure; bad triangles are retired
+    and replaced by several fresh ones whose quality improves, until the
+    whole mesh is good.  Each refinement transaction retires one triangle
+    and allocates/initialises up to three — the second-largest write sets
+    of the suite (175 B average in the paper). *)
+
+open Specpmt_txn
+open Specpmt_pstruct
+
+let sizes = function
+  | Wtypes.Quick -> 24
+  | Wtypes.Small -> 640
+  | Wtypes.Full -> 4 * 1024
+
+let quality_threshold = 100
+
+(* triangle record: [alive; quality; a; b; c; skew] — six cells *)
+let tri_cells = 6
+
+let prepare scale heap (backend : Ctx.backend) =
+  let seeds = sizes scale in
+  let rng = Rng.create 0xADA in
+  (* triangle pool: a bump-allocated persistent table *)
+  let max_tris = 16 * seeds in
+  let pool, count =
+    backend.Ctx.run_tx (fun ctx ->
+        let pool = Parray.create ctx (max_tris * tri_cells) in
+        let count = Parray.create ctx 1 in
+        Parray.set ctx count 0 0;
+        (pool, count))
+  in
+  let tri_base i = i * tri_cells in
+  let mk_tri ctx quality skew =
+    let i = Parray.get ctx count 0 in
+    if i >= max_tris then None
+    else begin
+      Parray.set ctx count 0 (i + 1);
+      let b = tri_base i in
+      Parray.set ctx pool b 1;
+      Parray.set ctx pool (b + 1) quality;
+      Parray.set ctx pool (b + 2) (Rng.int rng 1024);
+      Parray.set ctx pool (b + 3) (Rng.int rng 1024);
+      Parray.set ctx pool (b + 4) (Rng.int rng 1024);
+      Parray.set ctx pool (b + 5) skew;
+      Some i
+    end
+  in
+  (* seed mesh: all bad *)
+  let worklist = Queue.create () in
+  backend.Ctx.run_tx (fun ctx ->
+      for _ = 1 to seeds do
+        match mk_tri ctx (10 + Rng.int rng 40) (Rng.int rng 7) with
+        | Some i -> Queue.push i worklist
+        | None -> ()
+      done);
+  let work () =
+    while not (Queue.is_empty worklist) do
+      let i = Queue.pop worklist in
+      Wtypes.compute heap 700.0;
+      backend.Ctx.run_tx (fun ctx ->
+          let b = tri_base i in
+          if
+            Parray.get ctx pool b = 1
+            && Parray.get ctx pool (b + 1) < quality_threshold
+          then begin
+            (* retire the bad triangle, insert the cavity's replacements *)
+            Parray.set ctx pool b 0;
+            let q = Parray.get ctx pool (b + 1) in
+            let skew = Parray.get ctx pool (b + 5) in
+            let children = 2 + (skew mod 2) in
+            for c = 1 to children do
+              (* children converge: quality strictly improves *)
+              let q' = q + (q / 2) + (c * 7) in
+              match mk_tri ctx q' ((skew + c) mod 7) with
+              | Some j -> if q' < quality_threshold then Queue.push j worklist
+              | None -> ()
+            done
+          end)
+    done
+  in
+  let checksum () =
+    let ctx = Ctx.raw_ctx heap in
+    let n = Parray.get ctx count 0 in
+    let acc = ref n in
+    for i = 0 to n - 1 do
+      let b = tri_base i in
+      acc :=
+        Wtypes.mix !acc
+          ((Parray.get ctx pool b * 131) + Parray.get ctx pool (b + 1))
+    done;
+    !acc
+  in
+  { Wtypes.work; checksum }
+
+let workload =
+  {
+    Wtypes.name = "yada";
+    description = "Delaunay mesh refinement: retire bad triangles, split";
+    prepare;
+  }

@@ -1,0 +1,1 @@
+lib/txn/checksum.ml: Array Bytes Char Int64 Lazy List

@@ -1,0 +1,1 @@
+lib/txn/ctx.ml: Addr Pmem Specpmt_pmalloc Specpmt_pmem

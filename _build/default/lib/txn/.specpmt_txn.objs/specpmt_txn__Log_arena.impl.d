@@ -1,0 +1,1 @@
+lib/txn/log_arena.ml: Addr Array Bytes Checksum Fmt Hashtbl Heap Int64 Layout List Pmem Specpmt_pmalloc Specpmt_pmem

@@ -1,0 +1,1 @@
+lib/txn/log_arena.mli: Addr Heap Pmem Specpmt_pmalloc Specpmt_pmem

@@ -1,0 +1,1 @@
+lib/txn/write_set.ml: Addr Hashtbl List Specpmt_pmem

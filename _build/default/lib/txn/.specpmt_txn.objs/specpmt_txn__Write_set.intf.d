@@ -1,0 +1,1 @@
+lib/txn/write_set.mli: Addr Specpmt_pmem

@@ -1,0 +1,25 @@
+let poly = 0x82F63B78 (* reflected CRC-32C polynomial *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := (!c lsr 1) lxor poly
+           else c := !c lsr 1
+         done;
+         !c))
+
+let crc32c ?(init = 0) b =
+  let table = Lazy.force table in
+  let crc = ref (init lxor 0xFFFFFFFF) in
+  for i = 0 to Bytes.length b - 1 do
+    let idx = (!crc lxor Char.code (Bytes.get b i)) land 0xFF in
+    crc := (!crc lsr 8) lxor table.(idx)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let words ws =
+  let b = Bytes.create (8 * List.length ws) in
+  List.iteri (fun i w -> Bytes.set_int64_le b (i * 8) (Int64.of_int w)) ws;
+  crc32c b

@@ -1,0 +1,13 @@
+(** CRC-32C (Castagnoli), used as the commit marker of a log record.
+
+    The paper (Section 4.1) folds the transaction's commit status into the
+    record checksum: a record whose checksum does not match its content was
+    torn by a crash and marks the end of the valid log. *)
+
+val crc32c : ?init:int -> bytes -> int
+(** Checksum of a byte string, in [0, 2^32).  [init] chains computations
+    over fragments. *)
+
+val words : int list -> int
+(** Checksum of a list of 63-bit integers, each taken as 8 LE bytes.
+    Convenient for records assembled from word-granular cells. *)

@@ -1,0 +1,57 @@
+(** The common transactional interface.
+
+    Workloads (the STAMP ports, the examples) are written against {!ctx},
+    a first-class record of operations valid inside one open transaction,
+    and {!backend}, the scheme-agnostic handle exposing [run_tx] and
+    recovery.  Every crash-consistency scheme — software or simulated
+    hardware — provides this same interface, so a workload runs unchanged
+    under PMDK-style undo logging, Kamino-Tx, SPHT, SpecPMT, EDE, HOOP...
+
+    Addresses and values are word-granular (8-byte cells), matching the
+    simulator; backends account sub-word application writes by byte size
+    when profiling (Table 2) but log at cell granularity. *)
+
+open Specpmt_pmem
+
+type ctx = {
+  read : Addr.t -> int;  (** transactional load of an 8-byte cell *)
+  write : Addr.t -> int -> unit;  (** transactional store of an 8-byte cell *)
+  alloc : int -> Addr.t;  (** persistent allocation (not rolled back) *)
+  free : Addr.t -> unit;
+}
+
+exception Abort
+(** Raised by user code to abort the open transaction; the backend rolls
+    back volatile effects where its model supports it. *)
+
+type backend = {
+  name : string;
+  run_tx : 'a. (ctx -> 'a) -> 'a;
+      (** Run a crash-atomic transaction.  If {!Specpmt_pmem.Pmem.Crash}
+          escapes, the device is mid-crash: the caller must invoke
+          [Pmem.crash] and then [recover]. *)
+  recover : unit -> unit;
+      (** Post-crash recovery: restore every committed effect, revoke every
+          uncommitted one, and reinitialise the backend's runtime state. *)
+  drain : unit -> unit;
+      (** Complete all background work (log replay, reclamation) — used at
+          the end of a measured run so that schemes with deferred work pay
+          their full traffic. *)
+  log_footprint : unit -> int;
+      (** Current persistent bytes devoted to log structures (for the
+          memory-consumption analyses, Fig. 15). *)
+  supports_recovery : bool;
+      (** False for performance-upper-bound models (our Kamino-Tx port,
+          mirroring the paper's methodology) that cannot actually recover. *)
+}
+
+(** Non-transactional direct access used by setup phases and verification.
+    Reads and writes go straight to the device with no logging. *)
+let raw_ctx (heap : Specpmt_pmalloc.Heap.t) =
+  let pm = Specpmt_pmalloc.Heap.pmem heap in
+  {
+    read = (fun a -> Pmem.load_int pm a);
+    write = (fun a v -> Pmem.store_int pm a v);
+    alloc = (fun n -> Specpmt_pmalloc.Heap.alloc heap n);
+    free = (fun a -> Specpmt_pmalloc.Heap.free heap a);
+  }

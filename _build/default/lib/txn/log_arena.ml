@@ -1,0 +1,483 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+
+(* Record layout:
+     meta:   [size:8][timestamp:8][checksum:8]
+     entry:  [target:8][value:8]          (target >= 0)
+     marker: [-1:8][next_block_addr:8]    (record continues there)
+   Block layout: [next:8][payload ...].
+   [size] counts entry+marker bytes.  Torn or garbage metadata past the
+   valid prefix is caught by the checksum.
+
+   Shared geometry rule (append and scan agree on it): if fewer than
+   [min_space] bytes remain in a block, the log continues in the next
+   block. *)
+
+let meta_bytes = 24
+let entry_bytes = 16
+let marker_target = -1
+let min_space = meta_bytes + entry_bytes + 8 (* meta + one entry + slack *)
+
+(* A page entry embeds a whole page image: [page_tag][page base address]
+   followed by 4096 raw bytes, never spanning blocks.  This is the format
+   the hardware bulk-copy engine writes on a cold-to-hot transition
+   (Section 5.1) — 4 KiB of payload for 4 KiB of data. *)
+let page_tag = -2
+let page_entry_bytes = entry_bytes + Addr.page_size
+
+(* A size word of [skip_tag] tells the scanner that the log continues in
+   the block's successor even though room remained — written by
+   [seal_block] when an epoch boundary forces a fresh block. *)
+let skip_tag = -1
+
+type entry_pos = int
+
+type t = {
+  heap : Heap.t;
+  pm : Pmem.t;
+  head_slot : int;
+  block_bytes : int;
+  mutable blocks : Addr.t list; (* newest first *)
+  mutable cur_block : Addr.t;
+  mutable pos : Addr.t; (* next append address *)
+  (* open-record state *)
+  mutable rec_meta : Addr.t; (* -1 when no record is open *)
+  mutable rec_block : Addr.t; (* block containing rec_meta *)
+  mutable rec_size : int; (* entry+marker bytes appended so far *)
+  mutable rec_entries : int;
+  mutable segs : (Addr.t * Addr.t) list; (* [start,stop) spans, newest first *)
+  mutable seg_start : Addr.t;
+  mutable pending_spans : (Addr.t * Addr.t) list;
+      (* block-header next pointers written since the last commit; they must
+         persist with the next committed record for the chain to be
+         followable after a crash *)
+}
+
+type compact_stats = {
+  records_scanned : int;
+  entries_scanned : int;
+  entries_live : int;
+  blocks_freed : int;
+  blocks_allocated : int;
+}
+
+let pm t = t.pm
+let block_end t b = b + t.block_bytes
+let payload b = b + 8
+let has_open_record t = t.rec_meta >= 0
+let entry_words t = t.rec_entries
+let footprint t = List.length t.blocks * t.block_bytes
+let block_count t = List.length t.blocks
+
+let alloc_block t =
+  let b = Heap.alloc_log t.heap t.block_bytes in
+  (* zero the next pointer and the first size word so that a scan arriving
+     here stops cleanly even before anything is committed *)
+  Pmem.store_int t.pm b 0;
+  Pmem.store_int t.pm (payload b) 0;
+  b
+
+let mk heap ~head_slot ~block_bytes b =
+  {
+    heap;
+    pm = Heap.pmem heap;
+    head_slot;
+    block_bytes;
+    blocks = [ b ];
+    cur_block = b;
+    pos = payload b;
+    rec_meta = -1;
+    rec_block = -1;
+    rec_size = 0;
+    rec_entries = 0;
+    segs = [];
+    seg_start = -1;
+    pending_spans = [];
+  }
+
+let publish_head t b =
+  let slot = Heap.root_slot t.heap t.head_slot in
+  Pmem.store_int t.pm slot b;
+  Pmem.clwb t.pm slot;
+  Pmem.sfence t.pm
+
+let create heap ~head_slot ~block_bytes =
+  assert (block_bytes >= 256 && block_bytes mod 8 = 0);
+  let pm = Heap.pmem heap in
+  let b = Heap.alloc_log heap block_bytes in
+  Pmem.store_int pm b 0;
+  Pmem.store_int pm (payload b) 0;
+  Pmem.flush_range pm b 16;
+  let t = mk heap ~head_slot ~block_bytes b in
+  publish_head t b;
+  t
+
+(* Chain a fresh block onto the open end of the log.  If a record is open,
+   a marker entry redirects the scanner; either way the predecessor's next
+   pointer is set, and its cell is queued to persist with the next commit. *)
+let chain_block t =
+  let nb = alloc_block t in
+  if has_open_record t then begin
+    Pmem.store_int t.pm t.pos marker_target;
+    Pmem.store_int t.pm (t.pos + 8) nb;
+    t.rec_size <- t.rec_size + entry_bytes;
+    t.segs <- (t.seg_start, t.pos + entry_bytes) :: t.segs;
+    t.seg_start <- payload nb
+  end;
+  Pmem.store_int t.pm t.cur_block nb;
+  t.pending_spans <- (t.cur_block, t.cur_block + 8) :: t.pending_spans;
+  t.blocks <- nb :: t.blocks;
+  t.cur_block <- nb;
+  t.pos <- payload nb
+
+let ensure_room t n =
+  if t.pos + n + entry_bytes + 8 > block_end t t.cur_block then chain_block t
+
+let begin_record t =
+  assert (not (has_open_record t));
+  if block_end t t.cur_block - t.pos < min_space then chain_block t;
+  t.rec_meta <- t.pos;
+  t.rec_block <- t.cur_block;
+  t.rec_size <- 0;
+  t.rec_entries <- 0;
+  t.segs <- [];
+  t.seg_start <- t.pos;
+  t.pos <- t.pos + meta_bytes
+
+let add_entry t ~target ~value =
+  assert (has_open_record t && target >= 0);
+  ensure_room t entry_bytes;
+  let p = t.pos in
+  Pmem.store_int t.pm p target;
+  Pmem.store_int t.pm (p + 8) value;
+  t.pos <- p + entry_bytes;
+  t.rec_size <- t.rec_size + entry_bytes;
+  t.rec_entries <- t.rec_entries + 1;
+  p + 8
+
+let set_entry_value t pos v =
+  assert (has_open_record t);
+  Pmem.store_int t.pm pos v
+
+(* Drop an open record that received no entries: a zero-size record is
+   indistinguishable from the end-of-log sentinel, so empty transactions
+   must not leave one behind.  Only legal while the record is empty —
+   nothing has been chained past its metadata. *)
+let abandon_record t =
+  assert (has_open_record t && t.rec_size = 0);
+  t.pos <- t.rec_meta;
+  Pmem.store_int t.pm t.pos 0;
+  t.rec_meta <- -1;
+  t.rec_block <- -1;
+  t.rec_entries <- 0;
+  t.segs <- [];
+  t.seg_start <- -1
+
+(* Walk the entry stream of a record, following markers.  [block] is the
+   block containing [meta].  Calls [f target value] for every entry and
+   marker; returns [Some (next_pos, next_block)] one past the stream, or
+   [None] if the stream is malformed (torn size or dangling marker). *)
+let walk_entries pm ~block_bytes ~block ~meta ~size f =
+  let pos = ref (meta + meta_bytes) in
+  let cur_block = ref block in
+  let consumed = ref 0 in
+  let ok = ref true in
+  let mem = Pmem.mem_size pm in
+  while !ok && !consumed < size do
+    if !pos + entry_bytes > !cur_block + block_bytes then ok := false
+    else begin
+      let target = Pmem.load_int pm !pos in
+      let value = Pmem.load_int pm (!pos + 8) in
+      if target = marker_target then
+        if value <= 0 || value + block_bytes > mem then ok := false
+        else begin
+          f target value;
+          consumed := !consumed + entry_bytes;
+          cur_block := value;
+          pos := payload value
+        end
+      else if target = page_tag then
+        if
+          value < 0
+          || value + Addr.page_size > mem
+          || Addr.page_of value <> value
+          || !pos + page_entry_bytes > !cur_block + block_bytes
+        then ok := false
+        else begin
+          f target value;
+          for w = 0 to (Addr.page_size / 8) - 1 do
+            f (value + (w * 8)) (Pmem.load_int pm (!pos + entry_bytes + (w * 8)))
+          done;
+          consumed := !consumed + page_entry_bytes;
+          pos := !pos + page_entry_bytes
+        end
+      else if target < 0 then ok := false
+      else begin
+        f target value;
+        consumed := !consumed + entry_bytes;
+        pos := !pos + entry_bytes
+      end
+    end
+  done;
+  if !ok then Some (!pos, !cur_block) else None
+
+let record_checksum pm ~block_bytes ~block ~meta ~size ~ts =
+  let acc = ref [ ts; size ] in
+  match
+    walk_entries pm ~block_bytes ~block ~meta ~size (fun tgt v ->
+        acc := v :: tgt :: !acc)
+  with
+  | None -> None
+  | Some next -> Some (Checksum.words (List.rev !acc), next)
+
+let commit_record ?(fence = true) ?(flush = true) t ~timestamp =
+  assert (has_open_record t);
+  let meta = t.rec_meta in
+  (* sentinel for the record that will follow *)
+  Pmem.store_int t.pm t.pos 0;
+  t.segs <- (t.seg_start, t.pos + 8) :: t.segs;
+  (match
+     record_checksum t.pm ~block_bytes:t.block_bytes ~block:t.rec_block
+       ~meta ~size:t.rec_size ~ts:timestamp
+   with
+  | None -> assert false
+  | Some (crc, _) ->
+      Pmem.store_int t.pm meta t.rec_size;
+      Pmem.store_int t.pm (meta + 8) timestamp;
+      Pmem.store_int t.pm (meta + 16) crc);
+  (* one flush run over the record's spans, then a single fence: the
+     speculative-logging commit of Figure 2 (right) *)
+  if flush then begin
+    List.iter
+      (fun (a, b) -> Pmem.flush_range t.pm a (b - a))
+      (List.rev_append t.pending_spans (List.rev t.segs));
+    if fence then Pmem.sfence t.pm;
+    t.pending_spans <- []
+  end;
+  t.rec_meta <- -1;
+  t.rec_block <- -1;
+  t.rec_size <- 0;
+  t.rec_entries <- 0;
+  t.segs <- [];
+  t.seg_start <- -1
+
+(* Shared valid-prefix walk.  Calls [f ~ts entries] per valid record,
+   oldest first; returns (max_ts, end_pos, end_block). *)
+let scan_prefix pm ~block_bytes ~head ~f =
+  let mem = Pmem.mem_size pm in
+  let max_ts = ref 0 in
+  let continue = ref true in
+  let cur_block = ref head in
+  let pos = ref (payload head) in
+  while !continue do
+    if !cur_block + block_bytes - !pos < min_space then begin
+      (* geometry rule: the log continued in the next block, if any *)
+      let nb = Pmem.load_int pm !cur_block in
+      if nb <= 0 || nb + block_bytes > mem then continue := false
+      else begin
+        cur_block := nb;
+        pos := payload nb
+      end
+    end
+    else begin
+      let size = Pmem.load_int pm !pos in
+      if size = skip_tag then begin
+        (* sealed block: continue in the successor *)
+        let nb = Pmem.load_int pm !cur_block in
+        if nb <= 0 || nb + block_bytes > mem then continue := false
+        else begin
+          cur_block := nb;
+          pos := payload nb
+        end
+      end
+      else if size < entry_bytes || size mod entry_bytes <> 0 || size > mem
+      then continue := false
+      else begin
+        let ts = Pmem.load_int pm (!pos + 8) in
+        let crc = Pmem.load_int pm (!pos + 16) in
+        match
+          record_checksum pm ~block_bytes ~block:!cur_block ~meta:!pos ~size
+            ~ts
+        with
+        | Some (crc', (next_pos, next_block)) when crc' = crc && ts > 0 ->
+            let entries = ref [] in
+            ignore
+              (walk_entries pm ~block_bytes ~block:!cur_block ~meta:!pos
+                 ~size (fun tgt v ->
+                   if tgt >= 0 then entries := (tgt, v) :: !entries));
+            f ~ts (Array.of_list (List.rev !entries));
+            if ts > !max_ts then max_ts := ts;
+            pos := next_pos;
+            cur_block := next_block
+        | Some _ | None -> continue := false
+      end
+    end
+  done;
+  (!max_ts, !pos, !cur_block)
+
+let recover_scan pm ~head_slot ~block_bytes ~f =
+  let slot = Layout.root_slot head_slot in
+  let head = Pmem.load_int pm slot in
+  if head <= 0 then 0
+  else
+    let max_ts, _, _ = scan_prefix pm ~block_bytes ~head ~f in
+    max_ts
+
+let attach heap ~head_slot ~block_bytes =
+  let pm = Heap.pmem heap in
+  let slot = Layout.root_slot head_slot in
+  let head = Pmem.load_int pm slot in
+  if head <= 0 then create heap ~head_slot ~block_bytes
+  else begin
+    let _, pos, cur_block =
+      scan_prefix pm ~block_bytes ~head ~f:(fun ~ts:_ _ -> ())
+    in
+    (* rebuild the block list by walking the chain *)
+    let blocks = ref [] in
+    let b = ref head in
+    let mem = Pmem.mem_size pm in
+    let looping = ref true in
+    while !looping do
+      blocks := !b :: !blocks;
+      let nb = Pmem.load_int pm !b in
+      if nb <= 0 || nb + block_bytes > mem || List.mem nb !blocks then
+        looping := false
+      else b := nb
+    done;
+    let t = mk heap ~head_slot ~block_bytes head in
+    t.blocks <- !blocks;
+    t.cur_block <- cur_block;
+    t.pos <- pos;
+    (* make sure torn garbage right at the append point cannot be mistaken
+       for a record before the next commit *)
+    Pmem.store_int pm pos 0;
+    t
+  end
+
+(* Append a standalone committed record embedding the current image of
+   one page — the bulk-copy engine's cold-to-hot page adoption.  The whole
+   record (metadata + page entry) is contiguous within one block; if the
+   current block lacks room, a skip marker redirects the scanner to a
+   fresh block.  Fence-free by default: the flushes are persistent on
+   write-pending-queue acceptance and the engine orders them before the
+   page is marked hot. *)
+let append_page_record ?(fence = false) t ~timestamp ~page_base =
+  assert (not (has_open_record t));
+  assert (Addr.page_of page_base = page_base);
+  let need = meta_bytes + page_entry_bytes + 8 in
+  if t.block_bytes < need + 8 then
+    Fmt.invalid_arg "Log_arena: block size %d too small for page records"
+      t.block_bytes;
+  if t.pos + need > block_end t t.cur_block then begin
+    Pmem.store_int t.pm t.pos skip_tag;
+    t.pending_spans <- (t.pos, t.pos + 8) :: t.pending_spans;
+    chain_block t
+  end;
+  let meta = t.pos in
+  let size = page_entry_bytes in
+  Pmem.store_int t.pm (meta + meta_bytes) page_tag;
+  Pmem.store_int t.pm (meta + meta_bytes + 8) page_base;
+  let content = Pmem.load_bytes t.pm page_base Addr.page_size in
+  Pmem.store_bytes t.pm (meta + meta_bytes + entry_bytes) content;
+  t.pos <- meta + meta_bytes + size;
+  Pmem.store_int t.pm t.pos 0;
+  (* reverse-accumulated: List.rev gives [size; ts; tag; base; a0; v0; ...],
+     the same stream [record_checksum] sees when scanning *)
+  let acc = ref [ page_base; page_tag; timestamp; size ] in
+  for w = 0 to (Addr.page_size / 8) - 1 do
+    acc :=
+      Int64.to_int (Bytes.get_int64_le content (w * 8))
+      :: (page_base + (w * 8))
+      :: !acc
+  done;
+  Pmem.store_int t.pm meta size;
+  Pmem.store_int t.pm (meta + 8) timestamp;
+  Pmem.store_int t.pm (meta + 16) (Checksum.words (List.rev !acc));
+  List.iter
+    (fun (a, b) -> Pmem.flush_range t.pm a (b - a))
+    ((meta, t.pos + 8) :: t.pending_spans);
+  if fence then Pmem.sfence t.pm;
+  t.pending_spans <- []
+
+let current_block t = t.cur_block
+
+(* Force the next record to start in a fresh block, so that a chain prefix
+   ending just before it can be dropped wholesale (epoch reclamation).
+   The skip marker and the successor pointer persist with the next
+   committed record's flush run. *)
+let seal_block t =
+  assert (not (has_open_record t));
+  Pmem.store_int t.pm t.pos skip_tag;
+  t.pending_spans <- (t.pos, t.pos + 8) :: t.pending_spans;
+  chain_block t
+
+let drop_prefix t ~keep_from =
+  assert (not (has_open_record t));
+  if not (List.mem keep_from t.blocks) then
+    invalid_arg "Log_arena.drop_prefix: unknown boundary block";
+  (* blocks is newest-first; everything after [keep_from] is the prefix *)
+  let rec split acc = function
+    | [] -> (List.rev acc, [])
+    | b :: rest when b = keep_from -> (List.rev (b :: acc), rest)
+    | b :: rest -> split (b :: acc) rest
+  in
+  let kept, dropped = split [] t.blocks in
+  if dropped = [] then 0
+  else begin
+    (* atomic head switch, then the prefix blocks are dead *)
+    publish_head t keep_from;
+    List.iter (fun b -> Heap.free t.heap b) dropped;
+    t.blocks <- kept;
+    List.length dropped
+  end
+
+let compact t =
+  assert (not (has_open_record t));
+  let freshest : (Addr.t, int) Hashtbl.t = Hashtbl.create 256 in
+  let records = ref 0 and scanned = ref 0 and max_ts = ref 0 in
+  let head = List.nth t.blocks (List.length t.blocks - 1) in
+  let _, _, _ =
+    scan_prefix t.pm ~block_bytes:t.block_bytes ~head ~f:(fun ~ts entries ->
+        incr records;
+        if ts > !max_ts then max_ts := ts;
+        Array.iter
+          (fun (tgt, v) ->
+            incr scanned;
+            Hashtbl.replace freshest tgt v)
+          entries)
+  in
+  let live = Hashtbl.length freshest in
+  let old_blocks = t.blocks in
+  (* build the replacement chain: one compacted record stamped with the
+     newest contributing timestamp *)
+  let b0 = Heap.alloc_log t.heap t.block_bytes in
+  Pmem.store_int t.pm b0 0;
+  Pmem.store_int t.pm (payload b0) 0;
+  let t2 = mk t.heap ~head_slot:t.head_slot ~block_bytes:t.block_bytes b0 in
+  if live > 0 then begin
+    begin_record t2;
+    Hashtbl.iter
+      (fun tgt v -> ignore (add_entry t2 ~target:tgt ~value:v))
+      freshest;
+    commit_record t2 ~timestamp:!max_ts (* fence #1 *)
+  end
+  else begin
+    Pmem.flush_range t.pm b0 16;
+    Pmem.sfence t.pm
+  end;
+  (* atomic switch of the head pointer: fence #2.  A crash on either side
+     of it leaves a fully valid chain (old or new). *)
+  publish_head t2 b0;
+  (* only now is the old chain dead; recycle it *)
+  List.iter (fun b -> Heap.free t.heap b) old_blocks;
+  t.blocks <- t2.blocks;
+  t.cur_block <- t2.cur_block;
+  t.pos <- t2.pos;
+  t.pending_spans <- t2.pending_spans;
+  {
+    records_scanned = !records;
+    entries_scanned = !scanned;
+    entries_live = live;
+    blocks_freed = List.length old_blocks;
+    blocks_allocated = List.length t2.blocks;
+  }

@@ -1,0 +1,128 @@
+(** Chained-block, append-only persistent log (paper Section 4.1).
+
+    The log area is a chain of fixed-size {e log blocks} allocated from the
+    persistent heap on demand.  Records are appended sequentially; each
+    record is [{size; timestamp; checksum}] metadata followed by 16-byte
+    entries [(target address, value)].  When a record outgrows its block, a
+    {e marker entry} embeds a forward block pointer and the record continues
+    in a fresh block, exactly as in Figure 6.  The checksum covers metadata
+    (size, timestamp), entries and markers, and doubles as the commit
+    status: recovery replays records from the head and stops at the first
+    mismatch (Section 4.1, "the checksum also serves as the transaction's
+    commit status").
+
+    Appends are plain stores — nothing is flushed until {!commit_record},
+    which persists the whole record with one flush run and a single fence.
+
+    {!compact} implements the reclamation copy-and-splice of Section 4.2:
+    fresh entries are copied into new blocks, the new chain is made live by
+    one atomic head-pointer switch, and stale blocks return to the heap —
+    two fences per cycle, crash-safe at every point. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+
+type t
+
+type entry_pos = int
+(** Absolute address of an entry's value cell, for in-place freshening. *)
+
+val create : Heap.t -> head_slot:int -> block_bytes:int -> t
+(** Fresh empty log; persists the head pointer in root slot [head_slot]. *)
+
+val attach : Heap.t -> head_slot:int -> block_bytes:int -> t
+(** Reattach after a crash: scans the valid prefix and resumes appending
+    after it.  Call only after {!recover_scan}-based data recovery. *)
+
+(** {1 Appending} *)
+
+val begin_record : t -> unit
+(** Open a record.  At most one record may be open. *)
+
+val add_entry : t -> target:Addr.t -> value:int -> entry_pos
+(** Append an entry to the open record (plain stores, no persistence). *)
+
+val set_entry_value : t -> entry_pos -> int -> unit
+(** Overwrite the value of an already-appended entry of the open record —
+    write-set indexing keeps one entry per datum per transaction. *)
+
+val abandon_record : t -> unit
+(** Drop the open record; only legal while it has no entries.  Read-only
+    transactions must use this instead of committing a zero-entry record,
+    which would read as the end-of-log sentinel. *)
+
+val commit_record : ?fence:bool -> ?flush:bool -> t -> timestamp:int -> unit
+(** Seal the open record: write metadata with the checksum commit marker,
+    flush every line of the record, and issue one fence.  [~fence:false]
+    skips the fence — used by the hardware bulk-copy engine, whose flushes
+    are persistent on write-pending-queue acceptance (ADR) and whose
+    ordering is enforced by the engine itself (Section 5.1).
+    [~flush:false] skips persistence entirely: the record drains via cache
+    evictions — only for logs whose content recovery never reads (HOOP's
+    address-mapping log). *)
+
+val entry_words : t -> int
+(** Number of entries in the open record. *)
+
+val has_open_record : t -> bool
+
+val append_page_record :
+  ?fence:bool -> t -> timestamp:int -> page_base:Addr.t -> unit
+(** Append a standalone, already-committed record embedding the current
+    4 KiB image of the page at [page_base] — the hardware bulk-copy
+    engine's page adoption (Section 5.1).  May not be called while a
+    record is open.  Scanning expands the image into per-word entries.
+    Fence-free by default (persistent on WPQ acceptance). *)
+
+(** {1 Scanning (recovery path, works on any attached or crashed image)} *)
+
+val recover_scan :
+  Pmem.t ->
+  head_slot:int ->
+  block_bytes:int ->
+  f:(ts:int -> (Addr.t * int) array -> unit) ->
+  int
+(** Walk the valid record prefix from the head pointer, oldest first,
+    calling [f] per record; returns the largest timestamp seen (0 if
+    none).  Stops at the first checksum mismatch — later records are by
+    construction uncommitted. *)
+
+(** {1 Reclamation} *)
+
+type compact_stats = {
+  records_scanned : int;
+  entries_scanned : int;
+  entries_live : int;
+  blocks_freed : int;
+  blocks_allocated : int;
+}
+
+val compact : t -> compact_stats
+(** Reclaim stale records: copy the freshest entry of every datum into new
+    blocks (one compacted record stamped with the newest contributing
+    timestamp), atomically switch the head pointer, free old blocks.  Must
+    not be called while a record is open. *)
+
+(** {1 Epoch support (hardware SpecPMT, Section 5.2)} *)
+
+val current_block : t -> Addr.t
+(** The block new appends currently land in. *)
+
+val seal_block : t -> unit
+(** Force the next record to start in a fresh block, making the current
+    position a block-aligned epoch boundary. *)
+
+val drop_prefix : t -> keep_from:Addr.t -> int
+(** Free every block strictly older than [keep_from] (which must be a
+    block of the chain), switching the persistent head pointer atomically.
+    Returns the number of blocks freed.  Used by epoch-based reclamation:
+    start epochs on sealed block boundaries and drop the oldest epoch's
+    blocks in the foreground with one pointer persist. *)
+
+(** {1 Introspection} *)
+
+val footprint : t -> int
+(** Persistent bytes currently held by the chain. *)
+
+val block_count : t -> int
+val pm : t -> Pmem.t

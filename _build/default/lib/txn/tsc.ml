@@ -1,0 +1,20 @@
+(** Logical timestamp counter, the stand-in for [rdtscp] (Section 4.1).
+
+    Recovery only needs a total order over transaction commits, so a
+    monotone counter shared by all simulated threads of a device is
+    sufficient. *)
+
+type t = { mutable now : int }
+
+let create () = { now = 1 }
+
+let next t =
+  let v = t.now in
+  t.now <- v + 1;
+  v
+
+let peek t = t.now
+
+(** After a crash, restart the clock strictly above every timestamp that
+    may live in persistent logs. *)
+let restart_above t v = t.now <- max t.now (v + 1)

@@ -1,0 +1,18 @@
+(** Logical timestamp counter — the stand-in for [rdtscp] (Section 4.1).
+
+    Recovery needs a total order over transaction commits; multi-threaded
+    pools share one counter ({!Specpmt_backends.Spec_mt}). *)
+
+type t
+
+val create : unit -> t
+
+val next : t -> int
+(** Strictly increasing, starting at 1. *)
+
+val peek : t -> int
+(** The value {!next} would return, without consuming it. *)
+
+val restart_above : t -> int -> unit
+(** After a crash: restart strictly above every timestamp that may live in
+    persistent logs. *)

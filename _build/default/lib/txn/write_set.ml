@@ -1,0 +1,47 @@
+(** Per-transaction write-set index.
+
+    Tracks, for each 8-byte cell written by the open transaction, the value
+    it held before the first write (the undo image) and where its log entry
+    lives (so that repeated updates overwrite a single entry — the paper's
+    "write-set indexing" that keeps only the last update, Section 4). *)
+
+open Specpmt_pmem
+
+type slot = {
+  old_value : int;  (** value before the transaction's first write *)
+  mutable entry_pos : int;
+      (** backend-specific position of the cell's log entry; [-1] if the
+          backend has not materialised one *)
+}
+
+type t = { slots : (Addr.t, slot) Hashtbl.t; mutable order : Addr.t list }
+
+let create () = { slots = Hashtbl.create 64; order = [] }
+
+let clear t =
+  Hashtbl.reset t.slots;
+  t.order <- []
+
+let size t = Hashtbl.length t.slots
+
+(** [record t addr ~old_value] notes a write to [addr].  Returns the slot
+    and whether this is the first write to that cell in the transaction. *)
+let record t addr ~old_value =
+  match Hashtbl.find_opt t.slots addr with
+  | Some slot -> (slot, false)
+  | None ->
+      let slot = { old_value; entry_pos = -1 } in
+      Hashtbl.replace t.slots addr slot;
+      t.order <- addr :: t.order;
+      (slot, true)
+
+let find t addr = Hashtbl.find_opt t.slots addr
+
+(** Iterate cells in first-write order (oldest first). *)
+let iter_in_order t f =
+  List.iter (fun addr -> f addr (Hashtbl.find t.slots addr)) (List.rev t.order)
+
+(** Iterate cells in reverse first-write order (newest first), the order an
+    undo recovery applies compensation in. *)
+let iter_newest_first t f =
+  List.iter (fun addr -> f addr (Hashtbl.find t.slots addr)) t.order

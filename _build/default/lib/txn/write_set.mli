@@ -1,0 +1,34 @@
+(** Per-transaction write-set index.
+
+    For each 8-byte cell written by the open transaction it keeps the
+    value it held before the first write (the undo image) and a
+    backend-specific position of the cell's log entry, so repeated updates
+    freshen a single entry — the paper's write-set indexing that keeps only
+    the last update of a datum per transaction (Section 4). *)
+
+open Specpmt_pmem
+
+type slot = {
+  old_value : int;  (** value before the transaction's first write *)
+  mutable entry_pos : int;
+      (** backend-specific position of the cell's log entry; [-1] if the
+          backend has not materialised one *)
+}
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val size : t -> int
+
+val record : t -> Addr.t -> old_value:int -> slot * bool
+(** Note a write; [true] when this is the cell's first write in the
+    transaction ([old_value] is only stored then). *)
+
+val find : t -> Addr.t -> slot option
+
+val iter_in_order : t -> (Addr.t -> slot -> unit) -> unit
+(** Cells in first-write order, oldest first. *)
+
+val iter_newest_first : t -> (Addr.t -> slot -> unit) -> unit
+(** Reverse order — the order an undo rollback applies compensation in. *)

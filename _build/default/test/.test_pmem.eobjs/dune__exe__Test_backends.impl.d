@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Array Config Ctx Heap List Pmem Printf QCheck QCheck_alcotest Random Registry Spec_mt Spec_soft Specpmt_backends Specpmt_pmalloc Specpmt_pmem Specpmt_txn Stats Testlib

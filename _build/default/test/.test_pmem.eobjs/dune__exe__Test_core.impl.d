@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ctx Heap List Option Pmem Pmem_config Run Specpmt Workload

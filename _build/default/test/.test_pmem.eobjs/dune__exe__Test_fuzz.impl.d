@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Ctx Hashtbl Heap List Pmem Pmem_config Random Spec_hw Specpmt Specpmt_pstruct

@@ -1,0 +1,1 @@
+test/test_pmalloc.ml: Addr Alcotest Config Gen Heap Layout List Pmem QCheck QCheck_alcotest Specpmt_pmalloc Specpmt_pmem

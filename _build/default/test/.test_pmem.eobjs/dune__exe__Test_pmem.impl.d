@@ -1,0 +1,1 @@
+test/test_pmem.ml: Addr Alcotest Bytes Config Fmt Gen Hashtbl List Pmem Printf QCheck QCheck_alcotest Specpmt_pmem Stats

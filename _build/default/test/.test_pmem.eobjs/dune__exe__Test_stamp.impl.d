@@ -1,0 +1,1 @@
+test/test_stamp.ml: Alcotest List Option Printf Run Spec_hw Specpmt Workload

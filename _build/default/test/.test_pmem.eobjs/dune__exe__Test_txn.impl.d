@@ -1,0 +1,1 @@
+test/test_txn.ml: Addr Alcotest Array Bytes Checksum Config Gen Hashtbl Heap List Log_arena Pmem Printf QCheck QCheck_alcotest Specpmt_pmalloc Specpmt_pmem Specpmt_txn Write_set

@@ -1,0 +1,597 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+open Specpmt_backends
+
+let recoverable = [ Registry.Pmdk; Registry.Spht; Registry.Spec_dp; Registry.Spec; Registry.Hashlog ]
+
+let mk_backend ?(seed = 11) kind =
+  let pm = Pmem.create ~seed Config.small in
+  let heap = Heap.create pm in
+  (pm, heap, Registry.create heap kind)
+
+(* committed transactions are durable even when nothing forced the data
+   itself to the media *)
+let test_committed_durable kind () =
+  let pm, heap, b = mk_backend kind in
+  let base, outcome =
+    Testlib.run_with_crash pm heap b ~cells:8 ~fuse:None
+      [ [ (0, 11); (1, 22) ]; [ (0, 33) ] ]
+  in
+  Alcotest.(check int) "both committed" 2 outcome.Testlib.committed;
+  Pmem.crash pm;
+  b.Ctx.recover ();
+  let cells = Testlib.read_cells pm base 8 in
+  Alcotest.(check int) "cell 0" 33 cells.(0);
+  Alcotest.(check int) "cell 1" 22 cells.(1)
+
+(* an interrupted transaction is fully revoked, even when its in-place
+   updates leaked to the media before the crash *)
+let test_uncommitted_revoked kind () =
+  let pm = Pmem.create ~seed:3 { Config.small with crash_word_persist_prob = 1.0 } in
+  let heap = Heap.create pm in
+  let b = Registry.create heap kind in
+  let base = Heap.alloc heap (8 * 8) in
+  b.Ctx.run_tx (fun ctx ->
+      for i = 0 to 7 do
+        ctx.Ctx.write (base + (i * 8)) (100 + i)
+      done);
+  (* crash mid-transaction, after its stores have issued *)
+  (try
+     b.Ctx.run_tx (fun ctx ->
+         ctx.Ctx.write base 999;
+         ctx.Ctx.write (base + 8) 888;
+         Pmem.set_fuse pm (Some 1);
+         ctx.Ctx.write (base + 16) 777)
+   with Pmem.Crash -> ());
+  Pmem.crash pm;
+  b.Ctx.recover ();
+  let cells = Testlib.read_cells pm base 8 in
+  for i = 0 to 7 do
+    Alcotest.(check int) (Printf.sprintf "cell %d restored" i) (100 + i) cells.(i)
+  done
+
+let test_abort_rolls_back kind () =
+  let pm, heap, b = mk_backend kind in
+  let base = Heap.alloc heap 64 in
+  b.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 5);
+  (try
+     b.Ctx.run_tx (fun ctx ->
+         ctx.Ctx.write base 42;
+         raise Ctx.Abort)
+   with Ctx.Abort -> ());
+  Alcotest.(check int) "rolled back" 5 (Pmem.peek_volatile_int pm base);
+  (* and the rollback itself must be crash consistent *)
+  if b.Ctx.supports_recovery then begin
+    Pmem.crash pm;
+    b.Ctx.recover ();
+    Alcotest.(check int) "rolled back durably" 5
+      (Pmem.peek_volatile_int pm base)
+  end
+
+let test_read_own_writes kind () =
+  let _, heap, b = mk_backend kind in
+  let base = Heap.alloc heap 64 in
+  b.Ctx.run_tx (fun ctx ->
+      ctx.Ctx.write base 1;
+      ctx.Ctx.write (base + 8) (ctx.Ctx.read base + 1);
+      ctx.Ctx.write base 7);
+  let v =
+    b.Ctx.run_tx (fun ctx -> (ctx.Ctx.read base, ctx.Ctx.read (base + 8)))
+  in
+  Alcotest.(check (pair int int)) "read own writes" (7, 2) v
+
+(* the headline property: atomic durability under random programs and
+   random crash points, with random media leakage *)
+let prop_atomic_durability kind =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "atomic durability: %s" (Registry.name kind))
+    ~count:60
+    QCheck.(triple small_nat small_nat (int_bound 10000))
+    (fun (seed, fuse_seed, salt) ->
+      let cells = 12 and txs = 8 and max_writes = 6 in
+      let rand = Random.State.make [| seed; salt; 17 |] in
+      let program = Testlib.gen_program ~cells ~txs ~max_writes rand in
+      let states = Testlib.reference ~cells program in
+      let pm =
+        Pmem.create ~seed:(salt + 1)
+          {
+            Config.small with
+            crash_word_persist_prob =
+              float_of_int (seed mod 11) /. 10.0;
+          }
+      in
+      let heap = Heap.create pm in
+      let b = Registry.create heap kind in
+      let fuse = 1 + ((fuse_seed * 37) + salt) mod 3000 in
+      let base, outcome =
+        Testlib.run_with_crash pm heap b ~cells ~fuse:(Some fuse) program
+      in
+      if outcome.Testlib.crashed then begin
+        Pmem.crash pm;
+        b.Ctx.recover ()
+      end;
+      let recovered = Testlib.read_cells pm base cells in
+      let ok = Testlib.check_recovered ~states ~outcome recovered in
+      if not ok then
+        QCheck.Test.fail_reportf
+          "not atomic: committed=%d crashed=%b@ recovered=%a@ expected %a or \
+           %a"
+          outcome.Testlib.committed outcome.Testlib.crashed Testlib.pp_cells
+          recovered Testlib.pp_cells
+          states.(outcome.Testlib.committed)
+          Testlib.pp_cells
+          (states.(min (outcome.Testlib.committed + 1) txs));
+      ok)
+
+(* regression: a read-only transaction between committed ones must not
+   truncate the scannable log (a zero-entry record reads like the
+   end-of-log sentinel) *)
+let test_empty_tx_between_commits kind () =
+  let pm, heap, b = mk_backend ~seed:31 kind in
+  let base = Heap.alloc heap 64 in
+  b.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 1);
+  let v = b.Ctx.run_tx (fun ctx -> ctx.Ctx.read base) in
+  Alcotest.(check int) "read-only tx sees data" 1 v;
+  b.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 2);
+  Pmem.crash pm;
+  b.Ctx.recover ();
+  Alcotest.(check int) "commit after read-only tx recovered" 2
+    (Pmem.peek_volatile_int pm base)
+
+(* double crash: crash, recover, run more transactions, crash again *)
+let test_double_crash kind () =
+  let pm, heap, b = mk_backend ~seed:23 kind in
+  let base = Heap.alloc heap (4 * 8) in
+  b.Ctx.run_tx (fun ctx ->
+      for i = 0 to 3 do
+        ctx.Ctx.write (base + (i * 8)) i
+      done);
+  Pmem.crash pm;
+  b.Ctx.recover ();
+  b.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 100);
+  Pmem.crash pm;
+  b.Ctx.recover ();
+  let cells = Testlib.read_cells pm base 4 in
+  Alcotest.(check int) "second-generation commit" 100 cells.(0);
+  Alcotest.(check int) "first-generation commit" 3 cells.(3)
+
+(* SpecPMT-specific behaviours *)
+
+let test_spec_fence_economy () =
+  (* the point of the paper: SpecPMT uses one fence per transaction while
+     undo logging pays one per update plus commit barriers *)
+  let count kind =
+    let pm, heap, b = mk_backend kind in
+    let base = Heap.alloc heap (16 * 8) in
+    b.Ctx.run_tx (fun ctx ->
+        for i = 0 to 15 do
+          ctx.Ctx.write (base + (i * 8)) i
+        done);
+    let f0 = (Pmem.stats pm).Stats.fences in
+    b.Ctx.run_tx (fun ctx ->
+        for i = 0 to 15 do
+          ctx.Ctx.write (base + (i * 8)) (i * 2)
+        done);
+    (Pmem.stats pm).Stats.fences - f0
+  in
+  Alcotest.(check int) "SpecPMT: one fence per tx" 1 (count Registry.Spec);
+  Alcotest.(check bool) "PMDK: a fence per update" true
+    (count Registry.Pmdk >= 16)
+
+let test_spec_no_data_flush () =
+  let pm, heap, b = mk_backend Registry.Spec in
+  let base = Heap.alloc heap 64 in
+  b.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 1);
+  let w0 = (Pmem.stats pm).Stats.ns in
+  let c0 = (Pmem.stats pm).Stats.clwbs in
+  b.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 2);
+  let dp_pm, dp_heap, dp = mk_backend Registry.Spec_dp in
+  let dp_base = Heap.alloc dp_heap 64 in
+  dp.Ctx.run_tx (fun ctx -> ctx.Ctx.write dp_base 1);
+  ignore (w0, c0, dp_pm);
+  (* SpecSPMT-DP flushes log + data; SpecSPMT flushes only log lines *)
+  Alcotest.(check bool) "DP issues more flushes" true
+    ((Pmem.stats dp_pm).Stats.clwbs > c0)
+
+let test_spec_reclamation_bounds_log () =
+  let pm = Pmem.create Config.small in
+  let heap = Heap.create pm in
+  let backend, t =
+    Spec_soft.create heap
+      { Spec_soft.default_params with reclaim_threshold = 16 * 1024 }
+  in
+  let base = Heap.alloc heap (8 * 8) in
+  for round = 0 to 400 do
+    backend.Ctx.run_tx (fun ctx ->
+        for i = 0 to 7 do
+          ctx.Ctx.write (base + (i * 8)) (round + i)
+        done)
+  done;
+  Alcotest.(check bool) "reclamation ran" true (Spec_soft.reclaim_count t > 0);
+  Alcotest.(check bool) "log stays bounded" true
+    (backend.Ctx.log_footprint () <= 32 * 1024);
+  (* and the log still recovers the freshest state *)
+  Pmem.crash pm;
+  backend.Ctx.recover ();
+  let cells = Testlib.read_cells pm base 8 in
+  for i = 0 to 7 do
+    Alcotest.(check int) "freshest value" (400 + i) cells.(i)
+  done
+
+let test_spec_snapshot_external_data () =
+  let pm = Pmem.create { Config.small with crash_word_persist_prob = 1.0 } in
+  let heap = Heap.create pm in
+  let backend, t = Spec_soft.create heap Spec_soft.default_params in
+  let base = Heap.alloc heap 64 in
+  (* external data: written outside any transaction *)
+  Pmem.store_int pm base 1234;
+  Pmem.clwb pm base;
+  Pmem.sfence pm;
+  Spec_soft.snapshot_region t base 8;
+  (* an uncommitted update can now be revoked *)
+  (try
+     backend.Ctx.run_tx (fun ctx ->
+         ctx.Ctx.write base 9999;
+         Pmem.set_fuse pm (Some 1);
+         ctx.Ctx.write base 8888)
+   with Pmem.Crash -> ());
+  Pmem.crash pm;
+  backend.Ctx.recover ();
+  Alcotest.(check int) "external datum revoked to snapshot" 1234
+    (Pmem.peek_volatile_int pm base)
+
+let test_kamino_recovery_unsupported () =
+  let _, _, b = mk_backend Registry.Kamino in
+  Alcotest.(check bool) "flagged" false b.Ctx.supports_recovery;
+  Alcotest.(check bool) "raises" true
+    (try
+       b.Ctx.recover ();
+       false
+     with Invalid_argument _ -> true)
+
+(* multi-threaded speculative logging: per-thread logs, global timestamp
+   order at recovery (Sections 4.1 and 5.2.2) *)
+let test_mt_interleaved_recovery () =
+  let pm =
+    Pmem.create ~seed:9 { Config.small with crash_word_persist_prob = 0.6 }
+  in
+  let heap = Heap.create pm in
+  let mt = Spec_mt.create heap ~threads:3 in
+  let base = Heap.alloc heap (4 * 8) in
+  (Spec_mt.thread mt 0).Ctx.run_tx (fun ctx ->
+      for i = 0 to 3 do
+        ctx.Ctx.write (base + (i * 8)) 0
+      done);
+  (* interleave transactions across threads, all touching cell 0 — the
+     last committed write must win after recovery, which only timestamp
+     ordering across the three logs can get right *)
+  let order = [ 0; 1; 2; 1; 0; 2; 2; 0; 1; 0 ] in
+  List.iteri
+    (fun round th ->
+      (Spec_mt.thread mt th).Ctx.run_tx (fun ctx ->
+          ctx.Ctx.write base ((round * 10) + th);
+          ctx.Ctx.write (base + 8 + (th * 8)) round))
+    order;
+  Pmem.crash pm;
+  Spec_mt.recover mt;
+  (* last element of [order] is round 9 on thread 0 *)
+  Alcotest.(check int) "last global write wins" 90
+    (Pmem.peek_volatile_int pm base);
+  Alcotest.(check int) "thread 0 cell" 9 (Pmem.peek_volatile_int pm (base + 8));
+  Alcotest.(check int) "thread 1 cell" 8 (Pmem.peek_volatile_int pm (base + 16));
+  Alcotest.(check int) "thread 2 cell" 6 (Pmem.peek_volatile_int pm (base + 24))
+
+let test_mt_crash_revokes_only_open_tx () =
+  let pm =
+    Pmem.create ~seed:13 { Config.small with crash_word_persist_prob = 1.0 }
+  in
+  let heap = Heap.create pm in
+  let mt = Spec_mt.create heap ~threads:2 in
+  let base = Heap.alloc heap 32 in
+  (Spec_mt.thread mt 0).Ctx.run_tx (fun ctx ->
+      ctx.Ctx.write base 1;
+      ctx.Ctx.write (base + 8) 2);
+  (Spec_mt.thread mt 1).Ctx.run_tx (fun ctx -> ctx.Ctx.write base 5);
+  (* thread 0 crashes mid-transaction *)
+  (try
+     (Spec_mt.thread mt 0).Ctx.run_tx (fun ctx ->
+         ctx.Ctx.write base 999;
+         Pmem.set_fuse pm (Some 1);
+         ctx.Ctx.write (base + 8) 888)
+   with Pmem.Crash -> ());
+  Pmem.crash pm;
+  Spec_mt.recover mt;
+  Alcotest.(check int) "thread 1's commit is the freshest" 5
+    (Pmem.peek_volatile_int pm base);
+  Alcotest.(check int) "interrupted write revoked" 2
+    (Pmem.peek_volatile_int pm (base + 8));
+  (* threads keep working after recovery *)
+  (Spec_mt.thread mt 1).Ctx.run_tx (fun ctx -> ctx.Ctx.write base 7);
+  Alcotest.(check int) "post-recovery commit" 7 (Pmem.peek_volatile_int pm base)
+
+(* recovery is idempotent and tolerates a crash during recovery *)
+let test_recovery_idempotent kind () =
+  let pm, heap, b = mk_backend ~seed:41 kind in
+  let base = Heap.alloc heap (4 * 8) in
+  b.Ctx.run_tx (fun ctx ->
+      for i = 0 to 3 do
+        ctx.Ctx.write (base + (i * 8)) (i + 50)
+      done);
+  Pmem.crash pm;
+  b.Ctx.recover ();
+  let first = Testlib.read_cells pm base 4 in
+  Pmem.crash pm;
+  b.Ctx.recover ();
+  Alcotest.(check bool) "second recovery converges" true
+    (Testlib.read_cells pm base 4 = first)
+
+let test_crash_during_recovery kind () =
+  let pm =
+    Pmem.create ~seed:47 { Config.small with crash_word_persist_prob = 0.5 }
+  in
+  let heap = Heap.create pm in
+  let b = Registry.create heap kind in
+  let base = Heap.alloc heap (4 * 8) in
+  b.Ctx.run_tx (fun ctx ->
+      for i = 0 to 3 do
+        ctx.Ctx.write (base + (i * 8)) (i + 7)
+      done);
+  (try
+     b.Ctx.run_tx (fun ctx ->
+         ctx.Ctx.write base 100;
+         Pmem.set_fuse pm (Some 1);
+         ctx.Ctx.write (base + 8) 200)
+   with Pmem.Crash -> ());
+  Pmem.crash pm;
+  (* crash again in the middle of the recovery routine, then recover *)
+  Pmem.set_fuse pm (Some 20);
+  (try b.Ctx.recover () with Pmem.Crash -> Pmem.crash pm);
+  Pmem.set_fuse pm None;
+  b.Ctx.recover ();
+  let cells = Testlib.read_cells pm base 4 in
+  for i = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "cell %d after double-fault recovery" i)
+      (i + 7) cells.(i)
+  done
+
+(* Section 4.3.1: switch from speculative logging to undo logging *)
+let test_mechanism_switch () =
+  let pm =
+    Pmem.create ~seed:51 { Config.small with crash_word_persist_prob = 0.0 }
+  in
+  let heap = Heap.create pm in
+  let spec_backend, spec = Spec_soft.create heap Spec_soft.default_params in
+  let base = Heap.alloc heap 64 in
+  spec_backend.Ctx.run_tx (fun ctx ->
+      ctx.Ctx.write base 11;
+      ctx.Ctx.write (base + 8) 22);
+  let persisted = Spec_soft.switch_out spec in
+  Alcotest.(check bool) "cells persisted" true (persisted >= 2);
+  (* with zero leak probability, only the switch-out flush can explain
+     the data being durable *)
+  Alcotest.(check int) "data durable without recovery" 11
+    (Pmem.peek_media_int pm base);
+  (* undo logging takes over and recovers on its own *)
+  let undo = Registry.create heap Registry.Pmdk in
+  (try
+     undo.Ctx.run_tx (fun ctx ->
+         ctx.Ctx.write base 99;
+         Pmem.set_fuse pm (Some 1);
+         ctx.Ctx.write (base + 8) 98)
+   with Pmem.Crash -> ());
+  Pmem.crash pm;
+  undo.Ctx.recover ();
+  Alcotest.(check int) "undo revoked its tx" 11 (Pmem.peek_volatile_int pm base);
+  Alcotest.(check int) "spec-era value intact" 22
+    (Pmem.peek_volatile_int pm (base + 8))
+
+(* random multi-threaded interleavings with a crash: the recovered state
+   must equal the reference applied in global commit order, modulo the
+   usual at-most-one in-flight transaction *)
+let prop_mt_atomic_durability =
+  QCheck.Test.make ~name:"atomic durability: Spec_mt (3 threads)" ~count:40
+    QCheck.(triple small_nat small_nat (int_bound 10000))
+    (fun (seed, fuse_seed, salt) ->
+      let cells = 10 and txs_per_thread = 5 in
+      let rand = Random.State.make [| seed; salt; 71 |] in
+      let pm =
+        Pmem.create ~seed:(salt + 3)
+          {
+            Config.small with
+            crash_word_persist_prob = float_of_int (seed mod 11) /. 10.0;
+          }
+      in
+      let heap = Heap.create pm in
+      let mt = Spec_mt.create heap ~threads:3 in
+      let base = Heap.alloc heap (cells * 8) in
+      (Spec_mt.thread mt 0).Ctx.run_tx (fun ctx ->
+          for i = 0 to cells - 1 do
+            ctx.Ctx.write (base + (i * 8)) 0
+          done);
+      (* random global schedule of per-thread transactions *)
+      let schedule =
+        List.concat_map
+          (fun th -> List.init txs_per_thread (fun _ -> th))
+          [ 0; 1; 2 ]
+        |> List.sort (fun _ _ -> if Random.State.bool rand then 1 else -1)
+      in
+      let txs =
+        List.map
+          (fun th ->
+            ( th,
+              List.init
+                (1 + Random.State.int rand 4)
+                (fun _ ->
+                  (Random.State.int rand cells, Random.State.int rand 100000))
+            ))
+          schedule
+      in
+      let reference = Array.make cells 0 in
+      let committed = ref [] in
+      Pmem.set_fuse pm (Some (1 + (((fuse_seed * 53) + salt) mod 2500)));
+      let crashed =
+        try
+          List.iter
+            (fun (th, writes) ->
+              (Spec_mt.thread mt th).Ctx.run_tx (fun ctx ->
+                  List.iter
+                    (fun (c, v) -> ctx.Ctx.write (base + (c * 8)) v)
+                    writes);
+              committed := writes :: !committed)
+            txs;
+          Pmem.set_fuse pm None;
+          false
+        with Pmem.Crash -> true
+      in
+      if crashed then begin
+        Pmem.crash pm;
+        Spec_mt.recover mt
+      end;
+      List.iter
+        (fun writes -> List.iter (fun (c, v) -> reference.(c) <- v) writes)
+        (List.rev !committed);
+      let recovered = Testlib.read_cells pm base cells in
+      (* allow the one possibly-committed-but-uncounted transaction *)
+      let matches r =
+        Array.for_all2 (fun a b -> a = b) recovered r
+      in
+      let next_ref =
+        match List.nth_opt txs (List.length !committed) with
+        | Some (_, writes) ->
+            let r = Array.copy reference in
+            List.iter (fun (c, v) -> r.(c) <- v) writes;
+            r
+        | None -> reference
+      in
+      matches reference || matches next_ref)
+
+(* The paper's Section 5.1 coherence scenario, software rendition: two
+   threads write the same datum (w1 then w2); neither write is ever
+   flushed.  If w2's transaction commits, recovery must produce w2; if it
+   is interrupted, recovery must revoke it back to w1 using thread 1's
+   record — in both cases without persisting w1's effect. *)
+let test_coherence_scenario_51 () =
+  let run ~interrupt =
+    let pm =
+      Pmem.create ~seed:61 { Config.small with crash_word_persist_prob = 1.0 }
+    in
+    let heap = Heap.create pm in
+    let mt = Spec_mt.create heap ~threads:2 in
+    let x = Heap.alloc heap 8 in
+    (Spec_mt.thread mt 0).Ctx.run_tx (fun ctx -> ctx.Ctx.write x 0);
+    (Spec_mt.thread mt 0).Ctx.run_tx (fun ctx -> ctx.Ctx.write x 1) (* w1 *);
+    (try
+       (Spec_mt.thread mt 1).Ctx.run_tx (fun ctx ->
+           ctx.Ctx.write x 2 (* w2 *);
+           if interrupt then begin
+             Pmem.set_fuse pm (Some 1);
+             ignore (ctx.Ctx.read x)
+           end)
+     with Pmem.Crash -> ());
+    Pmem.crash pm;
+    Spec_mt.recover mt;
+    Pmem.peek_volatile_int pm x
+  in
+  Alcotest.(check int) "w2 committed -> recover w2" 2 (run ~interrupt:false);
+  Alcotest.(check int) "w2 interrupted -> revoke to w1" 1 (run ~interrupt:true)
+
+(* crash at every point inside switch_out (Section 4.3.1): afterwards,
+   either the speculative log still recovers the state, or the flushes
+   already made it durable — never a torn middle *)
+let test_switch_out_crash_atomic () =
+  let fuse = ref 1 in
+  let continue_ = ref true in
+  while !continue_ do
+    let pm =
+      Pmem.create ~seed:71 { Config.small with crash_word_persist_prob = 0.5 }
+    in
+    let heap = Heap.create pm in
+    let backend, spec = Spec_soft.create heap Spec_soft.default_params in
+    let base = Heap.alloc heap (8 * 8) in
+    backend.Ctx.run_tx (fun ctx ->
+        for i = 0 to 7 do
+          ctx.Ctx.write (base + (i * 8)) (i + 40)
+        done);
+    Pmem.set_fuse pm (Some !fuse);
+    let crashed =
+      try
+        ignore (Spec_soft.switch_out spec);
+        false
+      with Pmem.Crash -> true
+    in
+    Pmem.set_fuse pm None;
+    if crashed then begin
+      Pmem.crash pm;
+      backend.Ctx.recover ()
+    end;
+    for i = 0 to 7 do
+      Alcotest.(check int)
+        (Printf.sprintf "fuse %d cell %d" !fuse i)
+        (i + 40)
+        (Pmem.peek_volatile_int pm (base + (i * 8)))
+    done;
+    continue_ := crashed;
+    incr fuse
+  done;
+  Alcotest.(check bool) "switch_out eventually completes" true (!fuse > 2)
+
+let durability_cases =
+  List.concat_map
+    (fun kind ->
+      let n = Registry.name kind in
+      [
+        Alcotest.test_case (n ^ ": committed durable") `Quick
+          (test_committed_durable kind);
+        Alcotest.test_case (n ^ ": uncommitted revoked") `Quick
+          (test_uncommitted_revoked kind);
+        Alcotest.test_case (n ^ ": abort rolls back") `Quick
+          (test_abort_rolls_back kind);
+        Alcotest.test_case (n ^ ": read own writes") `Quick
+          (test_read_own_writes kind);
+        Alcotest.test_case (n ^ ": double crash") `Quick
+          (test_double_crash kind);
+        Alcotest.test_case (n ^ ": empty tx between commits") `Quick
+          (test_empty_tx_between_commits kind);
+        Alcotest.test_case (n ^ ": recovery idempotent") `Quick
+          (test_recovery_idempotent kind);
+        Alcotest.test_case (n ^ ": crash during recovery") `Quick
+          (test_crash_during_recovery kind);
+      ])
+    recoverable
+
+let () =
+  Alcotest.run "backends"
+    [
+      ("durability", durability_cases);
+      ( "atomic durability (property)",
+        List.map
+          (fun k -> QCheck_alcotest.to_alcotest (prop_atomic_durability k))
+          recoverable );
+      ( "multi-threaded",
+        [
+          Alcotest.test_case "interleaved recovery by timestamp" `Quick
+            test_mt_interleaved_recovery;
+          Alcotest.test_case "crash revokes only the open tx" `Quick
+            test_mt_crash_revokes_only_open_tx;
+          QCheck_alcotest.to_alcotest prop_mt_atomic_durability;
+          Alcotest.test_case "coherence scenario (section 5.1)" `Quick
+            test_coherence_scenario_51;
+        ] );
+      ( "specpmt specifics",
+        [
+          Alcotest.test_case "fence economy" `Quick test_spec_fence_economy;
+          Alcotest.test_case "no data flush" `Quick test_spec_no_data_flush;
+          Alcotest.test_case "reclamation bounds log" `Quick
+            test_spec_reclamation_bounds_log;
+          Alcotest.test_case "external data snapshot" `Quick
+            test_spec_snapshot_external_data;
+          Alcotest.test_case "kamino recovery unsupported" `Quick
+            test_kamino_recovery_unsupported;
+          Alcotest.test_case "mechanism switch (4.3.1)" `Quick
+            test_mechanism_switch;
+          Alcotest.test_case "switch_out crash-atomic" `Slow
+            test_switch_out_crash_atomic;
+        ] );
+    ]

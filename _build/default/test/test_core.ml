@@ -1,0 +1,75 @@
+open Specpmt
+
+(* the public facade *)
+
+let test_scheme_names_resolve () =
+  List.iter
+    (fun name ->
+      let pm = Pmem.create Pmem_config.default in
+      let heap = Heap.create pm in
+      let b = create_scheme heap name in
+      Alcotest.(check string) "name round-trips" name b.Ctx.name)
+    scheme_names
+
+let test_unknown_scheme_rejected () =
+  let pm = Pmem.create Pmem_config.default in
+  let heap = Heap.create pm in
+  Alcotest.(check bool) "unknown scheme raises" true
+    (try
+       ignore (create_scheme heap "nonesuch");
+       false
+     with Invalid_argument _ -> true)
+
+let test_run_measurement_consistency () =
+  let w = Option.get (Workload.find "ssca2") in
+  let m = Run.run ~scheme:"SpecSPMT" w Workload.Quick in
+  Alcotest.(check bool) "time positive" true (m.Run.ns > 0.0);
+  Alcotest.(check bool) "txs counted" true (m.Run.txs > 0);
+  Alcotest.(check bool) "updates >= txs" true (m.Run.updates >= m.Run.txs);
+  Alcotest.(check bool) "write set sane" true
+    (m.Run.avg_tx_bytes >= 8.0);
+  (* one fence per transaction is the SpecPMT signature *)
+  Alcotest.(check bool) "~one fence per tx" true
+    (m.Run.fences <= m.Run.txs + 16)
+
+let test_run_custom_matches_named () =
+  let w = Option.get (Workload.find "genome") in
+  let a = Run.run ~seed:3 ~scheme:"PMDK" w Workload.Quick in
+  let b =
+    Run.run_custom ~seed:3
+      ~make:(fun heap -> create_scheme heap "PMDK")
+      ~name:"PMDK" w Workload.Quick
+  in
+  Alcotest.(check int) "same checksum" a.Run.checksum b.Run.checksum;
+  Alcotest.(check (float 0.0)) "same time" a.Run.ns b.Run.ns
+
+let test_scheme_list_covers_figures () =
+  (* every scheme the figures reference must be constructible *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) s true (List.mem s scheme_names))
+    [
+      "raw"; "PMDK"; "Kamino-Tx"; "SPHT"; "SpecSPMT-DP"; "SpecSPMT";
+      "Spec-hashlog"; "EDE"; "HOOP"; "SpecHPMT-DP"; "SpecHPMT"; "no-log";
+    ]
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "scheme names resolve" `Quick
+            test_scheme_names_resolve;
+          Alcotest.test_case "unknown scheme rejected" `Quick
+            test_unknown_scheme_rejected;
+          Alcotest.test_case "figure schemes present" `Quick
+            test_scheme_list_covers_figures;
+        ] );
+      ( "run harness",
+        [
+          Alcotest.test_case "measurement consistency" `Quick
+            test_run_measurement_consistency;
+          Alcotest.test_case "run_custom matches named" `Quick
+            test_run_custom_matches_named;
+        ] );
+    ]

@@ -1,0 +1,248 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+open Specpmt_pstruct
+
+let mk () =
+  let pm = Pmem.create Config.small in
+  let heap = Heap.create pm in
+  (pm, heap, Ctx.raw_ctx heap)
+
+(* parray *)
+
+let test_parray_roundtrip () =
+  let _, _, ctx = mk () in
+  let a = Parray.create ctx 16 in
+  Parray.fill ctx a 0;
+  for i = 0 to 15 do
+    Parray.set ctx a i (i * i)
+  done;
+  Alcotest.(check (list int))
+    "roundtrip"
+    (List.init 16 (fun i -> i * i))
+    (Parray.to_list ctx a)
+
+let test_parray_bounds () =
+  let _, _, ctx = mk () in
+  let a = Parray.create ctx 4 in
+  Alcotest.(check bool) "oob raises" true
+    (try
+       ignore (Parray.get ctx a 4);
+       false
+     with Invalid_argument _ -> true)
+
+(* phashtbl vs Hashtbl reference *)
+
+let prop_phashtbl_matches_hashtbl =
+  QCheck.Test.make ~name:"phashtbl behaves like Hashtbl" ~count:100
+    QCheck.(
+      list_of_size Gen.(1 -- 120)
+        (triple (int_bound 60) (int_bound 10_000) (int_bound 9)))
+    (fun ops ->
+      let _, _, ctx = mk () in
+      let t = Phashtbl.create ctx 8 (* tiny: collisions guaranteed *) in
+      let r : (int, int) Hashtbl.t = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v, action) ->
+          if action < 6 then begin
+            ignore (Phashtbl.replace ctx t k v);
+            Hashtbl.replace r k v
+          end
+          else if action < 8 then begin
+            let added = Phashtbl.add_if_absent ctx t k v in
+            if not (Hashtbl.mem r k) then begin
+              assert added;
+              Hashtbl.replace r k v
+            end
+            else assert (not added)
+          end
+          else begin
+            let removed = Phashtbl.remove ctx t k in
+            assert (removed = Hashtbl.mem r k);
+            Hashtbl.remove r k
+          end;
+          assert (Phashtbl.length ctx t = Hashtbl.length r))
+        ops;
+      Hashtbl.fold
+        (fun k v acc -> acc && Phashtbl.find ctx t k = Some v)
+        r true
+      && Phashtbl.fold ctx t (fun k v acc -> acc && Hashtbl.find_opt r k = Some v) true)
+
+(* pqueue vs Queue reference *)
+
+let prop_pqueue_matches_queue =
+  QCheck.Test.make ~name:"pqueue behaves like Queue" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 100) (pair (int_bound 1000) bool))
+    (fun ops ->
+      let _, _, ctx = mk () in
+      let t = Pqueue.create ctx in
+      let r = Queue.create () in
+      List.iter
+        (fun (v, pop) ->
+          if pop then begin
+            let expect = if Queue.is_empty r then None else Some (Queue.pop r) in
+            assert (Pqueue.pop ctx t = expect)
+          end
+          else begin
+            Pqueue.push ctx t v;
+            Queue.push v r
+          end;
+          assert (Pqueue.size ctx t = Queue.length r))
+        ops;
+      true)
+
+(* ptreap vs Map reference *)
+
+module IntMap = Map.Make (Int)
+
+let prop_ptreap_matches_map =
+  QCheck.Test.make ~name:"ptreap behaves like Map" ~count:100
+    QCheck.(
+      list_of_size Gen.(1 -- 120)
+        (triple (int_bound 100) (int_bound 10_000) (int_bound 9)))
+    (fun ops ->
+      let _, _, ctx = mk () in
+      let t = Ptreap.create ctx in
+      let r = ref IntMap.empty in
+      List.iter
+        (fun (k, v, action) ->
+          if action < 6 then begin
+            Ptreap.insert ctx t k v;
+            r := IntMap.add k v !r
+          end
+          else if action < 8 then begin
+            let removed = Ptreap.remove ctx t k in
+            assert (removed = IntMap.mem k !r);
+            r := IntMap.remove k !r
+          end
+          else begin
+            (* ceiling query *)
+            let expect = IntMap.find_first_opt (fun k' -> k' >= k) !r in
+            assert (Ptreap.find_ceiling ctx t k = expect)
+          end)
+        ops;
+      (* full ordered iteration agrees *)
+      let got = ref [] in
+      Ptreap.iter ctx t (fun k v -> got := (k, v) :: !got);
+      List.rev !got = IntMap.bindings !r
+      && Ptreap.length ctx t = IntMap.cardinal !r)
+
+(* pvector vs dynamic-array reference *)
+
+let prop_pvector_matches_dynarray =
+  QCheck.Test.make ~name:"pvector behaves like a growable array" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 120) (pair (int_bound 1000) (int_bound 4)))
+    (fun ops ->
+      let _, _, ctx = mk () in
+      let t = Pvector.create ctx ~capacity:2 () in
+      let r = ref [] (* newest first *) in
+      List.iter
+        (fun (v, action) ->
+          match action with
+          | 0 | 1 | 2 ->
+              Pvector.push ctx t v;
+              r := v :: !r
+          | 3 -> (
+              let expect = match !r with [] -> None | x :: tl -> r := tl; Some x in
+              match (Pvector.pop ctx t, expect) with
+              | Some a, Some b -> assert (a = b)
+              | None, None -> ()
+              | _ -> assert false)
+          | _ ->
+              if !r <> [] then begin
+                let i = v mod List.length !r in
+                Pvector.set ctx t i v;
+                r := List.rev (List.mapi (fun j x -> if j = i then v else x)
+                                 (List.rev !r)) |> List.rev;
+                (* keep reference in newest-first order *)
+                r := List.rev !r
+              end)
+        ops;
+      Pvector.to_list ctx t = List.rev !r
+      && Pvector.length ctx t = List.length !r)
+
+let prop_plist_matches_stack =
+  QCheck.Test.make ~name:"plist behaves like a stack with removal" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 100) (pair (int_bound 50) (int_bound 5)))
+    (fun ops ->
+      let _, _, ctx = mk () in
+      let t = Plist.create ctx in
+      let r = ref [] in
+      List.iter
+        (fun (v, action) ->
+          match action with
+          | 0 | 1 | 2 ->
+              Plist.push ctx t v;
+              r := v :: !r
+          | 3 -> (
+              match (Plist.pop ctx t, !r) with
+              | Some a, x :: tl ->
+                  assert (a = x);
+                  r := tl
+              | None, [] -> ()
+              | _ -> assert false)
+          | _ ->
+              let removed = Plist.remove ctx t v in
+              assert (removed = List.mem v !r);
+              if removed then begin
+                let found = ref false in
+                r := List.filter (fun x ->
+                    if (not !found) && x = v then begin found := true; false end
+                    else true) !r
+              end)
+        ops;
+      Plist.to_list ctx t = !r && Plist.length ctx t = List.length !r)
+
+(* structures running inside transactions recover correctly *)
+
+let test_structures_under_crash () =
+  let pm =
+    Pmem.create ~seed:17 { Config.small with crash_word_persist_prob = 0.7 }
+  in
+  let heap = Heap.create pm in
+  let b =
+    Specpmt_backends.Registry.create heap Specpmt_backends.Registry.Spec
+  in
+  let t, q = b.Ctx.run_tx (fun ctx -> (Phashtbl.create ctx 16, Pqueue.create ctx)) in
+  for i = 1 to 30 do
+    b.Ctx.run_tx (fun ctx ->
+        ignore (Phashtbl.replace ctx t i (i * 7));
+        Pqueue.push ctx q i)
+  done;
+  (* crash mid-mutation *)
+  (try
+     b.Ctx.run_tx (fun ctx ->
+         ignore (Phashtbl.replace ctx t 99 1);
+         Pmem.set_fuse pm (Some 2);
+         Pqueue.push ctx q 99)
+   with Pmem.Crash -> ());
+  Pmem.crash pm;
+  b.Ctx.recover ();
+  let ctx = Ctx.raw_ctx heap in
+  Alcotest.(check int) "30 keys survive" 30 (Phashtbl.length ctx t);
+  Alcotest.(check (option int)) "value intact" (Some 70) (Phashtbl.find ctx t 10);
+  Alcotest.(check (option int)) "revoked key gone" None (Phashtbl.find ctx t 99);
+  Alcotest.(check int) "queue intact" 30 (Pqueue.size ctx q)
+
+let () =
+  Alcotest.run "pstruct"
+    [
+      ( "parray",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parray_roundtrip;
+          Alcotest.test_case "bounds" `Quick test_parray_bounds;
+        ] );
+      ( "model equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_phashtbl_matches_hashtbl;
+          QCheck_alcotest.to_alcotest prop_pqueue_matches_queue;
+          QCheck_alcotest.to_alcotest prop_ptreap_matches_map;
+          QCheck_alcotest.to_alcotest prop_pvector_matches_dynarray;
+          QCheck_alcotest.to_alcotest prop_plist_matches_stack;
+        ] );
+      ( "transactional",
+        [
+          Alcotest.test_case "crash recovery" `Quick
+            test_structures_under_crash;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+open Specpmt
+
+(* The STAMP ports must be deterministic and backend-transparent: the
+   final-state checksum of a run depends only on (workload, scale), never
+   on the crash-consistency scheme underneath — a strong end-to-end check
+   of every scheme's transactional semantics. *)
+
+let schemes_under_test =
+  [ "raw"; "PMDK"; "SPHT"; "SpecSPMT"; "Spec-hashlog"; "EDE"; "HOOP"; "SpecHPMT"; "no-log" ]
+
+let test_backend_transparent wname () =
+  let w = Option.get (Workload.find wname) in
+  let reference = (Run.run ~scheme:"raw" w Workload.Quick).Run.checksum in
+  List.iter
+    (fun scheme ->
+      let m = Run.run ~scheme w Workload.Quick in
+      Alcotest.(check int)
+        (Printf.sprintf "%s checksum under %s" wname scheme)
+        reference m.Run.checksum)
+    schemes_under_test;
+  (* the multi-core hardware pool must be transparent too (core 0 runs
+     the whole workload; the pool machinery is still exercised) *)
+  let m =
+    Run.run_custom
+      ~make:(fun heap ->
+        Spec_hw.Mt.thread (Spec_hw.Mt.create heap ~threads:2) 0)
+      ~name:"SpecHPMT-Mt" w Workload.Quick
+  in
+  Alcotest.(check int)
+    (Printf.sprintf "%s checksum under SpecHPMT-Mt" wname)
+    reference m.Run.checksum
+
+let test_deterministic wname () =
+  let w = Option.get (Workload.find wname) in
+  let a = Run.run ~seed:5 ~scheme:"SpecSPMT" w Workload.Quick in
+  let b = Run.run ~seed:5 ~scheme:"SpecSPMT" w Workload.Quick in
+  Alcotest.(check int) "same checksum" a.Run.checksum b.Run.checksum;
+  Alcotest.(check (float 0.0)) "same simulated time" a.Run.ns b.Run.ns;
+  Alcotest.(check int) "same traffic" a.Run.pm_write_lines b.Run.pm_write_lines
+
+(* Table 2 shape: the relative transaction profiles must mirror STAMP's *)
+let test_profile_shape () =
+  let profile wname =
+    let w = Option.get (Workload.find wname) in
+    Run.run ~scheme:"raw" w Workload.Quick
+  in
+  let lab = profile "labyrinth" in
+  let kme = profile "kmeans-low" in
+  let gen = profile "genome" in
+  let ssc = profile "ssca2" in
+  let yad = profile "yada" in
+  let vlo = profile "vacation-low" in
+  let vhi = profile "vacation-high" in
+  (* labyrinth: few, very large transactions *)
+  Alcotest.(check bool) "labyrinth has the fewest txs" true
+    (lab.Run.txs < gen.Run.txs && lab.Run.txs < ssc.Run.txs);
+  Alcotest.(check bool) "labyrinth txs are the largest of the small apps"
+    true
+    (lab.Run.avg_tx_bytes > gen.Run.avg_tx_bytes);
+  (* kmeans: ~100 B transactions (12 dims + count at 8 B/cell) *)
+  Alcotest.(check bool) "kmeans ~104 B/tx" true
+    (kme.Run.avg_tx_bytes > 90.0 && kme.Run.avg_tx_bytes < 135.0);
+  (* genome and ssca2: small write sets *)
+  Alcotest.(check bool) "genome small txs" true (gen.Run.avg_tx_bytes < 40.0);
+  Alcotest.(check bool) "ssca2 small txs" true (ssc.Run.avg_tx_bytes < 40.0);
+  (* yada: large write sets *)
+  Alcotest.(check bool) "yada large txs" true (yad.Run.avg_tx_bytes > 80.0);
+  (* vacation-high writes more than vacation-low (2 reservations vs 1) *)
+  Alcotest.(check bool) "vacation-high > vacation-low write sets" true
+    (vhi.Run.avg_tx_bytes > vlo.Run.avg_tx_bytes)
+
+(* Scheme-level sanity at workload scale: SpecPMT must beat the undo
+   baseline on every write-intensive app, with fewer fences *)
+let test_spec_beats_pmdk () =
+  List.iter
+    (fun wname ->
+      let w = Option.get (Workload.find wname) in
+      let pmdk = Run.run ~scheme:"PMDK" w Workload.Quick in
+      let spec = Run.run ~scheme:"SpecSPMT" w Workload.Quick in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: faster" wname)
+        true (spec.Run.ns < pmdk.Run.ns);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: fewer fences" wname)
+        true
+        (spec.Run.fences < pmdk.Run.fences))
+    [ "genome"; "intruder"; "kmeans-high"; "ssca2"; "yada" ]
+
+let all_workloads =
+  List.map (fun w -> w.Workload.name) Workload.all
+
+let () =
+  Alcotest.run "stamp"
+    [
+      ( "backend transparency",
+        List.map
+          (fun w ->
+            Alcotest.test_case w `Slow (test_backend_transparent w))
+          all_workloads );
+      ( "determinism",
+        List.map
+          (fun w -> Alcotest.test_case w `Quick (test_deterministic w))
+          all_workloads );
+      ( "profiles",
+        [ Alcotest.test_case "table 2 shape" `Quick test_profile_shape ] );
+      ( "orderings",
+        [ Alcotest.test_case "spec beats pmdk" `Quick test_spec_beats_pmdk ] );
+    ]

@@ -1,0 +1,434 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+let mk ?(crash_prob = 0.0) () =
+  let pm =
+    Pmem.create { Config.small with crash_word_persist_prob = crash_prob }
+  in
+  (pm, Heap.create pm)
+
+let head_slot = 20
+let bb = 512 (* small blocks so chaining is exercised constantly *)
+
+let mk_arena () =
+  let pm, heap = mk () in
+  (pm, heap, Log_arena.create heap ~head_slot ~block_bytes:bb)
+
+(* checksum *)
+
+let test_crc_known () =
+  (* CRC-32C("123456789") = 0xE3069283, a standard test vector *)
+  Alcotest.(check int)
+    "crc32c vector" 0xE3069283
+    (Checksum.crc32c (Bytes.of_string "123456789"))
+
+let prop_crc_detects_flip =
+  QCheck.Test.make ~name:"crc detects single-word corruption" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 10) (int_bound 10000)) small_nat)
+    (fun (ws, i) ->
+      QCheck.assume (ws <> []);
+      let i = i mod List.length ws in
+      let ws' = List.mapi (fun j w -> if j = i then w + 1 else w) ws in
+      Checksum.words ws <> Checksum.words ws')
+
+(* write set *)
+
+let test_write_set_first_and_order () =
+  let ws = Write_set.create () in
+  let s1, f1 = Write_set.record ws 8 ~old_value:10 in
+  let _, f2 = Write_set.record ws 16 ~old_value:20 in
+  let s3, f3 = Write_set.record ws 8 ~old_value:999 in
+  Alcotest.(check bool) "first" true f1;
+  Alcotest.(check bool) "second addr first" true f2;
+  Alcotest.(check bool) "repeat not first" false f3;
+  Alcotest.(check bool) "same slot" true (s1 == s3);
+  Alcotest.(check int) "old value kept from first write" 10
+    s3.Write_set.old_value;
+  let order = ref [] in
+  Write_set.iter_in_order ws (fun a _ -> order := a :: !order);
+  Alcotest.(check (list int)) "oldest first" [ 16; 8 ] !order
+
+(* log arena *)
+
+let scan_all pm =
+  let recs = ref [] in
+  let _ =
+    Log_arena.recover_scan pm ~head_slot ~block_bytes:bb ~f:(fun ~ts e ->
+        recs := (ts, Array.to_list e) :: !recs)
+  in
+  List.rev !recs
+
+let test_arena_commit_and_scan () =
+  let pm, _, a = mk_arena () in
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:1000 ~value:1);
+  ignore (Log_arena.add_entry a ~target:1008 ~value:2);
+  Log_arena.commit_record a ~timestamp:5;
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:1000 ~value:3);
+  Log_arena.commit_record a ~timestamp:6;
+  Pmem.crash pm;
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "both records survive, in order"
+    [ (5, [ (1000, 1); (1008, 2) ]); (6, [ (1000, 3) ]) ]
+    (scan_all pm)
+
+let test_arena_torn_record_dropped () =
+  let pm, _, a = mk_arena () in
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:1000 ~value:1);
+  Log_arena.commit_record a ~timestamp:5;
+  (* second record never committed: no checksum, never flushed *)
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:2000 ~value:99);
+  Pmem.crash pm;
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "only the committed record"
+    [ (5, [ (1000, 1) ]) ]
+    (scan_all pm)
+
+let test_arena_torn_record_dropped_even_if_leaked () =
+  (* same, but every dirty word leaks to the media: the missing checksum
+     is computed over garbage metadata and still fails *)
+  let pm =
+    Pmem.create { Config.small with crash_word_persist_prob = 1.0 }
+  in
+  let heap = Heap.create pm in
+  let a = Log_arena.create heap ~head_slot ~block_bytes:bb in
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:1000 ~value:1);
+  Log_arena.commit_record a ~timestamp:5;
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:2000 ~value:99);
+  Pmem.crash pm;
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "uncommitted record dropped"
+    [ (5, [ (1000, 1) ]) ]
+    (scan_all pm)
+
+let test_arena_record_spans_blocks () =
+  let pm, _, a = mk_arena () in
+  Log_arena.begin_record a;
+  (* 512-byte blocks hold ~30 entries; write 200 to span several blocks *)
+  for i = 0 to 199 do
+    ignore (Log_arena.add_entry a ~target:(8 * (i + 1)) ~value:i)
+  done;
+  Log_arena.commit_record a ~timestamp:9;
+  Alcotest.(check bool) "chained" true (Log_arena.block_count a > 1);
+  Pmem.crash pm;
+  match scan_all pm with
+  | [ (9, entries) ] ->
+      Alcotest.(check int) "all entries back" 200 (List.length entries);
+      Alcotest.(check (pair int int)) "last entry" (8 * 200, 199)
+        (List.nth entries 199)
+  | other ->
+      Alcotest.failf "expected one record, got %d" (List.length other)
+
+let test_arena_freshen_entry () =
+  let pm, _, a = mk_arena () in
+  Log_arena.begin_record a;
+  let pos = Log_arena.add_entry a ~target:1000 ~value:1 in
+  Log_arena.set_entry_value a pos 42;
+  Log_arena.commit_record a ~timestamp:2;
+  Pmem.crash pm;
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "freshened value logged"
+    [ (2, [ (1000, 42) ]) ]
+    (scan_all pm)
+
+let fill_arena a n_records =
+  for r = 0 to n_records - 1 do
+    Log_arena.begin_record a;
+    for i = 0 to 9 do
+      ignore (Log_arena.add_entry a ~target:(8 * ((i mod 4) + 1)) ~value:((r * 10) + i))
+    done;
+    Log_arena.commit_record a ~timestamp:(r + 1)
+  done
+
+let test_arena_compact_keeps_freshest () =
+  let pm, _, a = mk_arena () in
+  fill_arena a 20;
+  let before = Log_arena.footprint a in
+  let st = Log_arena.compact a in
+  Alcotest.(check bool) "footprint shrank" true (Log_arena.footprint a < before);
+  Alcotest.(check int) "4 live cells" 4 st.Log_arena.entries_live;
+  Alcotest.(check bool) "blocks freed" true (st.Log_arena.blocks_freed > 0);
+  Pmem.crash pm;
+  (* replaying the compacted log must give the freshest values *)
+  let final = Hashtbl.create 8 in
+  List.iter
+    (fun (_, es) -> List.iter (fun (t, v) -> Hashtbl.replace final t v) es)
+    (scan_all pm);
+  (* freshest values after record 20 (r=19): the last i hitting each cell
+     is 8, 9, 6, 7 respectively *)
+  List.iter2
+    (fun cell expected ->
+      Alcotest.(check int)
+        (Printf.sprintf "cell %d" cell)
+        expected
+        (Hashtbl.find final cell))
+    [ 8; 16; 24; 32 ] [ 198; 199; 196; 197 ]
+
+let test_arena_append_after_compact () =
+  let pm, _, a = mk_arena () in
+  fill_arena a 8;
+  ignore (Log_arena.compact a);
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:4096 ~value:777);
+  Log_arena.commit_record a ~timestamp:100;
+  Pmem.crash pm;
+  let recs = scan_all pm in
+  Alcotest.(check bool) "compacted + new record" true (List.length recs = 2);
+  let _, last = List.nth recs 1 in
+  Alcotest.(check (list (pair int int))) "new record intact" [ (4096, 777) ] last
+
+let test_arena_attach_resumes () =
+  let pm, heap, a = mk_arena () in
+  fill_arena a 3;
+  (* simulated restart without crash: reattach and keep appending *)
+  let a2 = Log_arena.attach heap ~head_slot ~block_bytes:bb in
+  Log_arena.begin_record a2;
+  ignore (Log_arena.add_entry a2 ~target:8192 ~value:1);
+  Log_arena.commit_record a2 ~timestamp:50;
+  Pmem.crash pm;
+  Alcotest.(check int) "all four records" 4 (List.length (scan_all pm))
+
+let test_compact_is_crash_atomic () =
+  (* crash at every event during a compaction: a scan must always see
+     either the old chain or the new one — never garbage *)
+  let run fuse =
+    let pm =
+      Pmem.create { Config.small with crash_word_persist_prob = 0.5 }
+    in
+    let heap = Heap.create pm in
+    let a = Log_arena.create heap ~head_slot ~block_bytes:bb in
+    fill_arena a 10;
+    let final = Hashtbl.create 8 in
+    List.iter
+      (fun (_, es) -> List.iter (fun (t, v) -> Hashtbl.replace final t v) es)
+      (scan_all pm);
+    Pmem.set_fuse pm (Some fuse);
+    let crashed =
+      try
+        ignore (Log_arena.compact a);
+        false
+      with Pmem.Crash -> true
+    in
+    Pmem.crash pm;
+    let after = Hashtbl.create 8 in
+    List.iter
+      (fun (_, es) -> List.iter (fun (t, v) -> Hashtbl.replace after t v) es)
+      (scan_all pm);
+    Hashtbl.iter
+      (fun cell v ->
+        Alcotest.(check int)
+          (Printf.sprintf "fuse %d cell %d" fuse cell)
+          v
+          (try Hashtbl.find after cell with Not_found -> -1))
+      final;
+    crashed
+  in
+  let fuse = ref 1 in
+  while run !fuse do
+    incr fuse
+  done;
+  Alcotest.(check bool) "eventually completes" true (!fuse > 1)
+
+(* page records (hardware bulk-copy format) *)
+
+let test_page_record_roundtrip () =
+  let pm, heap = mk () in
+  let a = Log_arena.create heap ~head_slot ~block_bytes:8192 in
+  (* fill a page with a known pattern *)
+  let page = Addr.page_of (Heap.alloc heap 8192) in
+  for w = 0 to 511 do
+    Pmem.store_int pm (page + (w * 8)) (w * 3)
+  done;
+  Log_arena.append_page_record a ~timestamp:4 ~page_base:page;
+  (* a later normal record must still scan *)
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:64 ~value:5);
+  Log_arena.commit_record a ~timestamp:6;
+  Pmem.crash pm;
+  let records = ref [] in
+  let _ =
+    Log_arena.recover_scan pm ~head_slot ~block_bytes:8192 ~f:(fun ~ts e ->
+        records := (ts, e) :: !records)
+  in
+  match List.rev !records with
+  | [ (4, page_entries); (6, tail) ] ->
+      Alcotest.(check int) "512 words" 512 (Array.length page_entries);
+      Array.iteri
+        (fun w (tgt, v) ->
+          assert (tgt = page + (w * 8));
+          assert (v = w * 3))
+        page_entries;
+      Alcotest.(check (pair int int)) "tail record" (64, 5) tail.(0)
+  | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)
+
+let test_page_record_chains_when_full () =
+  let pm, heap = mk () in
+  let a = Log_arena.create heap ~head_slot ~block_bytes:8192 in
+  let page = Addr.page_of (Heap.alloc heap 8192) in
+  (* leave too little room for a page record in the current block *)
+  Log_arena.begin_record a;
+  for i = 0 to 200 do
+    ignore (Log_arena.add_entry a ~target:(8 * (i + 1)) ~value:i)
+  done;
+  Log_arena.commit_record a ~timestamp:1;
+  Log_arena.append_page_record a ~timestamp:2 ~page_base:page;
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:8 ~value:99);
+  Log_arena.commit_record a ~timestamp:3;
+  Pmem.crash pm;
+  let n = ref 0 in
+  let _ = Log_arena.recover_scan pm ~head_slot ~block_bytes:8192
+      ~f:(fun ~ts:_ _ -> incr n) in
+  Alcotest.(check int) "all three records scan across the chain" 3 !n
+
+(* seal + drop_prefix (epoch reclamation machinery) *)
+
+let test_seal_and_drop_prefix () =
+  let pm, _, a = mk_arena () in
+  fill_arena a 3;
+  Log_arena.seal_block a;
+  let boundary = Log_arena.current_block a in
+  fill_arena a 3;
+  (* drop everything before the boundary *)
+  let freed = Log_arena.drop_prefix a ~keep_from:boundary in
+  Alcotest.(check bool) "blocks freed" true (freed > 0);
+  Pmem.crash pm;
+  let seen = ref [] in
+  let _ = Log_arena.recover_scan pm ~head_slot ~block_bytes:bb
+      ~f:(fun ~ts _ -> seen := ts :: !seen) in
+  (* the second fill stamped 1..3 again; only those survive the drop *)
+  Alcotest.(check (list int)) "only the records after the boundary"
+    [ 3; 2; 1 ] !seen
+
+let test_abandon_record () =
+  let pm, _, a = mk_arena () in
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:8 ~value:1);
+  Log_arena.commit_record a ~timestamp:1;
+  Log_arena.begin_record a;
+  Log_arena.abandon_record a;
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:16 ~value:2);
+  Log_arena.commit_record a ~timestamp:2;
+  Pmem.crash pm;
+  Alcotest.(check int) "both real records scan" 2
+    (List.length (scan_all pm))
+
+(* random records: scanning returns exactly what was committed *)
+let prop_arena_roundtrip =
+  QCheck.Test.make ~name:"scan = committed records" ~count:80
+    QCheck.(
+      list_of_size Gen.(1 -- 12)
+        (list_of_size Gen.(1 -- 20) (pair (int_bound 500) (int_bound 100000))))
+    (fun recs ->
+      let pm, _, a = mk_arena () in
+      List.iteri
+        (fun i entries ->
+          Log_arena.begin_record a;
+          List.iter
+            (fun (cell, v) ->
+              ignore (Log_arena.add_entry a ~target:(8 * (cell + 1)) ~value:v))
+            entries;
+          Log_arena.commit_record a ~timestamp:(i + 1))
+        recs;
+      Pmem.crash pm;
+      let got = scan_all pm in
+      got
+      = List.mapi
+          (fun i entries ->
+            (i + 1, List.map (fun (c, v) -> ((8 * (c + 1)), v)) entries))
+          recs)
+
+(* property: crash at ANY memory event during a sequence of appends and
+   commits — the scan must always yield a prefix of the committed records,
+   never garbage, never a record out of order *)
+let prop_crash_prefix =
+  QCheck.Test.make ~name:"any crash yields a committed-record prefix"
+    ~count:120
+    QCheck.(pair (int_range 1 2000) (int_range 0 10))
+    (fun (fuse, leak) ->
+      let pm =
+        Pmem.create
+          {
+            Config.small with
+            crash_word_persist_prob = float_of_int leak /. 10.0;
+          }
+      in
+      let heap = Heap.create pm in
+      let a = Log_arena.create heap ~head_slot ~block_bytes:bb in
+      let committed = ref 0 in
+      Pmem.set_fuse pm (Some fuse);
+      (try
+         for r = 1 to 40 do
+           Log_arena.begin_record a;
+           for i = 0 to 5 do
+             ignore
+               (Log_arena.add_entry a ~target:(8 * ((r * 7 mod 11) + i + 1))
+                  ~value:((r * 100) + i))
+           done;
+           Log_arena.commit_record a ~timestamp:r;
+           committed := r
+         done;
+         Pmem.set_fuse pm None
+       with Pmem.Crash -> ());
+      Pmem.crash pm;
+      let seen = ref [] in
+      let _ =
+        Log_arena.recover_scan pm ~head_slot ~block_bytes:bb
+          ~f:(fun ~ts _ -> seen := ts :: !seen)
+      in
+      let seen = List.rev !seen in
+      (* must be exactly 1..k for some k in {committed, committed+1} *)
+      let expected_prefix k = List.init k (fun i -> i + 1) in
+      seen = expected_prefix !committed
+      || seen = expected_prefix (min 40 (!committed + 1)))
+
+let () =
+  Alcotest.run "txn"
+    [
+      ( "checksum",
+        [
+          Alcotest.test_case "known vector" `Quick test_crc_known;
+          QCheck_alcotest.to_alcotest prop_crc_detects_flip;
+        ] );
+      ( "write set",
+        [
+          Alcotest.test_case "first/order semantics" `Quick
+            test_write_set_first_and_order;
+        ] );
+      ( "log arena",
+        [
+          Alcotest.test_case "commit and scan" `Quick
+            test_arena_commit_and_scan;
+          Alcotest.test_case "torn record dropped" `Quick
+            test_arena_torn_record_dropped;
+          Alcotest.test_case "torn record dropped (leaky crash)" `Quick
+            test_arena_torn_record_dropped_even_if_leaked;
+          Alcotest.test_case "record spans blocks" `Quick
+            test_arena_record_spans_blocks;
+          Alcotest.test_case "freshen entry in place" `Quick
+            test_arena_freshen_entry;
+          Alcotest.test_case "compact keeps freshest" `Quick
+            test_arena_compact_keeps_freshest;
+          Alcotest.test_case "append after compact" `Quick
+            test_arena_append_after_compact;
+          Alcotest.test_case "attach resumes" `Quick test_arena_attach_resumes;
+          Alcotest.test_case "compaction crash-atomic" `Slow
+            test_compact_is_crash_atomic;
+          Alcotest.test_case "page record roundtrip" `Quick
+            test_page_record_roundtrip;
+          Alcotest.test_case "page record chains" `Quick
+            test_page_record_chains_when_full;
+          Alcotest.test_case "seal + drop prefix" `Quick
+            test_seal_and_drop_prefix;
+          Alcotest.test_case "abandon record" `Quick test_abandon_record;
+          QCheck_alcotest.to_alcotest prop_arena_roundtrip;
+          QCheck_alcotest.to_alcotest prop_crash_prefix;
+        ] );
+    ]

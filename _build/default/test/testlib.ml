@@ -1,0 +1,87 @@
+(** Shared helpers for the test suites: pool construction, the random
+    transactional-program generator, and the crash-injection harness used
+    by the atomic-durability property tests. *)
+
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+
+let mk_pool ?(seed = 7) ?(cfg = Config.small) () =
+  let pm = Pmem.create ~seed cfg in
+  let heap = Heap.create pm in
+  (pm, heap)
+
+(** A random transactional program over [cells] 8-byte cells: a list of
+    transactions, each a list of [(cell index, new value)] writes. *)
+type program = (int * int) list list
+
+let gen_program ~cells ~txs ~max_writes rand : program =
+  List.init txs (fun _ ->
+      let n = 1 + Random.State.int rand max_writes in
+      List.init n (fun _ ->
+          (Random.State.int rand cells, 1 + Random.State.int rand 1_000_000)))
+
+(** Pure reference: state after each whole transaction. [ref_states.(k)] is
+    the array after the first [k] transactions. *)
+let reference ~cells (p : program) =
+  let state = Array.make cells 0 in
+  let states = Array.make (List.length p + 1) [||] in
+  states.(0) <- Array.copy state;
+  List.iteri
+    (fun i tx ->
+      List.iter (fun (c, v) -> state.(c) <- v) tx;
+      states.(i + 1) <- Array.copy state)
+    p;
+  states
+
+(** Outcome of a crash-injected run. *)
+type crash_outcome = {
+  committed : int;  (** transactions whose [run_tx] returned *)
+  crashed : bool;
+}
+
+(** Allocate the cell array, adopt it with one initial transaction (the
+    snapshot of Section 4.3.2 — every backend handles it as a plain
+    transaction), then run [program] with a crash fuse of [fuse] memory
+    events armed after the initialisation.  Returns the cell-array base
+    address and the outcome. *)
+let run_with_crash pm heap (backend : Ctx.backend) ~cells ~fuse program =
+  let base = Heap.alloc heap (cells * 8) in
+  backend.Ctx.run_tx (fun ctx ->
+      for i = 0 to cells - 1 do
+        ctx.Ctx.write (base + (i * 8)) 0
+      done);
+  Pmem.set_fuse pm fuse;
+  let committed = ref 0 in
+  let crashed =
+    try
+      List.iter
+        (fun tx ->
+          backend.Ctx.run_tx (fun ctx ->
+              List.iter
+                (fun (c, v) -> ctx.Ctx.write (base + (c * 8)) v)
+                tx);
+          incr committed)
+        program;
+      Pmem.set_fuse pm None;
+      false
+    with Pmem.Crash -> true
+  in
+  (base, { committed = !committed; crashed })
+
+let read_cells pm base cells =
+  Array.init cells (fun i -> Pmem.peek_volatile_int pm (base + (i * 8)))
+
+let array_eq a b = a = b
+
+(** Check atomic durability: the recovered state must be exactly the
+    reference state after [committed] or [committed + 1] transactions (the
+    +1 covers a crash after the commit point but before control returned;
+    the initial adoption transaction is state 0). *)
+let check_recovered ~states ~outcome recovered =
+  let k = outcome.committed in
+  array_eq recovered states.(k)
+  || (k + 1 < Array.length states && array_eq recovered states.(k + 1))
+
+let pp_cells ppf a =
+  Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ";") int) a
