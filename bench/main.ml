@@ -5,6 +5,8 @@
      dune exec bench/main.exe -- fig12 fig13  -- selected experiments
      dune exec bench/main.exe -- --quick all  -- smallest inputs
      dune exec bench/main.exe -- --full all   -- larger inputs
+     dune exec bench/main.exe -- --quick all --json out.json
+                                              -- also write a JSON report
 
    Experiments: table1 table2 table3 fig1 fig12 fig13 fig14 fig15 hashlog
    ablation bechamel.  Measurements are simulated time and traffic; the
@@ -22,6 +24,52 @@ let cache : (string * string * float, Run.measurement) Hashtbl.t =
 
 let scale = ref Workload.Small
 
+let scale_name () =
+  match !scale with
+  | Workload.Quick -> "quick"
+  | Workload.Small -> "small"
+  | Workload.Full -> "full"
+
+(* ---------- JSON report (--json FILE) ---------- *)
+
+(* Every fresh measurement is recorded with the compute multiplier it ran
+   under; the report dedups on (scheme, workload, multiplier) keeping the
+   first occurrence, so re-running figures that share runs does not
+   duplicate rows. *)
+let json_path : string option ref = ref None
+let recorded : (float * Run.measurement) list ref = ref []
+
+let record m =
+  if !json_path <> None then
+    recorded := (!Workload.compute_scale, m) :: !recorded
+
+let write_json_report path =
+  let seen = Hashtbl.create 64 in
+  let results =
+    List.rev !recorded
+    |> List.filter (fun (cs, m) ->
+           let k = (m.Run.scheme, m.Run.workload, cs) in
+           if Hashtbl.mem seen k then false
+           else begin
+             Hashtbl.add seen k ();
+             true
+           end)
+    |> List.map (fun (cs, m) ->
+           match Run.measurement_to_json m with
+           | Json.Obj kvs ->
+               Json.Obj (kvs @ [ ("compute_scale", Json.Float cs) ])
+           | j -> j)
+  in
+  Json.to_file path
+    (Json.Obj
+       [
+         ("schema_version", Json.Int Run.schema_version);
+         ("generator", Json.Str "specpmt-bench");
+         ("scale", Json.Str (scale_name ()));
+         ("results", Json.List results);
+       ]);
+  Printf.printf "\nwrote %d measurements to %s\n" (List.length results) path
+
 (* The paper's software results come from a real machine running full
    STAMP inputs, where computation per transaction dwarfs the simulator
    workloads'; its hardware results come from gem5 with simulator inputs.
@@ -37,6 +85,7 @@ let measure scheme wname =
   | None ->
       let m = Run.run ~scheme (workload wname) !scale in
       Hashtbl.replace cache k m;
+      record m;
       m
 
 let with_compute_scale k f =
@@ -741,25 +790,25 @@ let all_experiments =
   ]
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  let args =
-    List.filter
-      (function
-        | "--quick" ->
-            scale := Workload.Quick;
-            false
-        | "--full" ->
-            scale := Workload.Full;
-            false
-        | _ -> true)
-      args
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--quick" :: rest ->
+        scale := Workload.Quick;
+        parse acc rest
+    | "--full" :: rest ->
+        scale := Workload.Full;
+        parse acc rest
+    | "--json" :: path :: rest ->
+        json_path := Some path;
+        parse acc rest
+    | [ "--json" ] ->
+        prerr_endline "--json requires a file argument";
+        exit 1
+    | a :: rest -> parse (a :: acc) rest
   in
+  let args = parse [] (Array.to_list Sys.argv |> List.tl) in
   let selected = match args with [] | [ "all" ] -> List.map fst all_experiments | l -> l in
-  Printf.printf "SpecPMT evaluation harness (scale: %s)\n"
-    (match !scale with
-    | Workload.Quick -> "quick"
-    | Workload.Small -> "small"
-    | Workload.Full -> "full");
+  Printf.printf "SpecPMT evaluation harness (scale: %s)\n" (scale_name ());
   List.iter
     (fun name ->
       match List.assoc_opt name all_experiments with
@@ -768,4 +817,5 @@ let () =
           Printf.eprintf "unknown experiment %S; known: %s\n" name
             (String.concat ", " (List.map fst all_experiments));
           exit 1)
-    selected
+    selected;
+  Option.iter write_json_report !json_path

@@ -63,31 +63,52 @@ let print_measurement (m : Run.measurement) =
   Fmt.pr "log          %d KiB resident@." (m.Run.log_bytes / 1024);
   Fmt.pr "checksum     %x@." m.Run.checksum
 
+let json_arg =
+  let doc = "Also write the measurement(s) as a JSON report to $(docv)." in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run scheme wname scale seed =
+  let run scheme wname scale seed json =
     let m = Run.run ~seed ~scheme (get_workload wname) (parse_scale scale) in
-    print_measurement m
+    print_measurement m;
+    Option.iter
+      (fun path ->
+        Run.write_report ~scale ~path [ m ];
+        Fmt.pr "wrote JSON report to %s@." path)
+      json
   in
   Cmd.v (Cmd.info "run" ~doc:"Measure one workload under one scheme")
-    Term.(const run $ scheme_arg $ workload_arg $ scale_arg $ seed_arg)
+    Term.(
+      const run $ scheme_arg $ workload_arg $ scale_arg $ seed_arg $ json_arg)
 
 let compare_cmd =
-  let run wname scale seed =
+  let run wname scale seed json =
     let w = get_workload wname in
-    let scale = parse_scale scale in
+    let sc = parse_scale scale in
     Fmt.pr "%-14s %12s %10s %10s %12s %10s@." "scheme" "sim ms" "fences"
       "flushes" "PM wlines" "log KiB";
-    List.iter
-      (fun scheme ->
-        let m = Run.run ~seed ~scheme w scale in
-        Fmt.pr "%-14s %12.3f %10d %10d %12d %10d@." scheme (m.Run.ns /. 1e6)
-          m.Run.fences m.Run.clwbs m.Run.pm_write_lines
-          (m.Run.log_bytes / 1024))
-      scheme_names
+    let ms =
+      List.map
+        (fun scheme ->
+          let m = Run.run ~seed ~scheme w sc in
+          Fmt.pr "%-14s %12.3f %10d %10d %12d %10d@." scheme (m.Run.ns /. 1e6)
+            m.Run.fences m.Run.clwbs m.Run.pm_write_lines
+            (m.Run.log_bytes / 1024);
+          m)
+        scheme_names
+    in
+    Option.iter
+      (fun path ->
+        Run.write_report ~scale ~path ms;
+        Fmt.pr "wrote JSON report to %s@." path)
+      json
   in
   Cmd.v
     (Cmd.info "compare" ~doc:"Run a workload under every scheme")
-    Term.(const run $ workload_arg $ scale_arg $ seed_arg)
+    Term.(const run $ workload_arg $ scale_arg $ seed_arg $ json_arg)
 
 let crash_cmd =
   let run scheme wname scale seed =
@@ -139,6 +160,9 @@ let fuzz_cmd =
     Arg.(value & opt int 50 & info [ "rounds" ] ~doc:"Crash rounds.")
   in
   let run scheme seed rounds =
+    (* keep the last few structured events (commits, attaches, recoveries)
+       so a failed audit comes with its prelude *)
+    Obs.Trace.set_capacity 256;
     let pm =
       Pmem.create ~seed
         { Pmem_config.default with crash_word_persist_prob = 0.7 }
@@ -182,6 +206,8 @@ let fuzz_cmd =
       if !mismatches > 1 then (
         Fmt.pr "round %d: %d mismatches — NOT crash consistent!@." round
           !mismatches;
+        Fmt.pr "last traced events before the failure:@.";
+        Obs.Trace.dump Fmt.stdout ();
         exit 1);
       if !mismatches = 1 then begin
         (* reconcile the single possibly-in-flight transaction *)

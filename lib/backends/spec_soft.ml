@@ -37,6 +37,8 @@ type t = {
    paper, so its memory operations are unmetered here and an estimated
    cost is charged to the background ledger instead. *)
 let reclaim t =
+  let open Specpmt_obs in
+  Phase.run Phase.Reclaim @@ fun () ->
   let stats =
     Pmem.with_unmetered t.pm (fun () -> Log_arena.compact t.arena)
   in
@@ -44,6 +46,20 @@ let reclaim t =
   let scan_ns = float_of_int stats.Log_arena.entries_scanned *. 6.0 in
   let copy_ns = float_of_int stats.Log_arena.entries_live *. 30.0 in
   Pmem.charge_bg_ns t.pm (scan_ns +. copy_ns);
+  Metrics.incr (Metrics.counter "reclaim.cycles");
+  Metrics.add (Metrics.counter "reclaim.blocks_freed")
+    stats.Log_arena.blocks_freed;
+  Metrics.add (Metrics.counter "reclaim.entries_scanned")
+    stats.Log_arena.entries_scanned;
+  Metrics.add (Metrics.counter "reclaim.entries_live")
+    stats.Log_arena.entries_live;
+  Metrics.add (Metrics.counter "reclaim.bg_ns")
+    (int_of_float (scan_ns +. copy_ns));
+  Hist.observe
+    (Metrics.histogram "reclaim.entries_scanned_per_cycle")
+    stats.Log_arena.entries_scanned;
+  Trace.emit "spec.reclaim" ~a:stats.Log_arena.blocks_freed
+    ~b:stats.Log_arena.entries_live;
   stats
 
 let reclaim_now t = reclaim t
@@ -146,8 +162,10 @@ let replay ?(head_slot = Slots.spec_head) pm ~block_bytes =
 let recover_standalone pm ~block_bytes = fst (replay pm ~block_bytes)
 
 let recover t =
+  let open Specpmt_obs in
+  Phase.run Phase.Recover @@ fun () ->
   (* replay first: the heap walk must see the restored image *)
-  let _, max_ts =
+  let restored, max_ts =
     replay ~head_slot:t.head_slot t.pm ~block_bytes:t.params.block_bytes
   in
   Heap.recover t.heap;
@@ -157,7 +175,11 @@ let recover t =
       ~block_bytes:t.params.block_bytes;
   t.frees <- [] (* deferred frees of a crashed transaction are dead *);
   Write_set.clear t.ws;
-  t.in_tx <- false
+  t.in_tx <- false;
+  Metrics.incr (Metrics.counter "recover.cycles");
+  Metrics.add (Metrics.counter "recover.cells_restored")
+    (Hashtbl.length restored);
+  Trace.emit "spec.recover" ~a:(Hashtbl.length restored) ~b:max_ts
 
 (* Reattach the arena after an external replay — the multi-threaded
    runtime replays all threads' logs in global timestamp order before

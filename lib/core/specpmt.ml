@@ -22,7 +22,8 @@
     - {!Schemes}: software schemes (PMDK, Kamino-Tx, SPHT, SpecSPMT...),
     - {!Hw_schemes}: simulated-hardware schemes (EDE, HOOP, SpecHPMT...),
     - {!Workload}: the STAMP port,
-    - {!Run}: the measurement harness behind all figures. *)
+    - {!Run}: the measurement harness behind all figures,
+    - {!Obs}: metrics, phase attribution, tracing and the JSON reports. *)
 
 module Pmem = Specpmt_pmem.Pmem
 module Pmem_config = Specpmt_pmem.Config
@@ -41,6 +42,8 @@ module Epoch_protocol = Specpmt_hwtxn.Epoch_protocol
 module Hwconfig = Specpmt_hwsim.Hwconfig
 module Workload = Specpmt_stamp.Workload
 module Profile = Specpmt_stamp.Profile
+module Obs = Specpmt_obs
+module Json = Specpmt_obs.Json
 
 (** All scheme names, software then hardware, in figure order. *)
 let scheme_names =
@@ -74,6 +77,14 @@ module Run = struct
     txs : int;
     updates : int;
     avg_tx_bytes : float;
+    tx_latency : Obs.Hist.snapshot;
+        (** per-transaction latency over the measured phase, simulated ns *)
+    write_set : Obs.Hist.snapshot;  (** per-transaction write-set bytes *)
+    phases : Obs.Phase.snapshot;
+        (** fences/flushes/PM traffic attributed to prepare / work / drain /
+            recover / reclaim spans *)
+    metrics : Json.t;
+        (** registry dump (reclamation and log-compaction telemetry) *)
   }
 
   let default_mem = 64 * 1024 * 1024
@@ -83,20 +94,29 @@ module Run = struct
       work is drained inside it. *)
   let run_custom ?(seed = 1) ?(mem = default_mem) ~make ~name
       (w : Workload.t) scale =
+    Obs.Phase.reset ();
+    Obs.Metrics.reset_all ();
     let pm =
       Pmem.create ~seed { Pmem_config.default with mem_size = mem }
     in
     let heap = Heap.create pm in
     let backend = make heap in
-    let profiled, counters = Profile.wrap backend in
-    let prepared = w.Workload.prepare scale heap profiled in
+    let profiled, counters =
+      Profile.wrap ~clock:(fun () -> (Pmem.stats pm).Stats.ns) backend
+    in
+    let prepared =
+      Obs.Phase.run Obs.Phase.Prepare (fun () ->
+          w.Workload.prepare scale heap profiled)
+    in
     let c0 = Profile.fresh () in
     c0.Profile.txs <- counters.Profile.txs;
     c0.Profile.updates <- counters.Profile.updates;
     c0.Profile.ws_bytes <- counters.Profile.ws_bytes;
+    (* the distributions cover only the measured phase *)
+    Profile.reset_histograms counters;
     let before = Stats.copy (Pmem.stats pm) in
-    prepared.Workload.work ();
-    backend.Ctx.drain ();
+    Obs.Phase.run Obs.Phase.Work prepared.Workload.work;
+    Obs.Phase.run Obs.Phase.Drain backend.Ctx.drain;
     let d = Stats.diff before (Pmem.stats pm) in
     let checksum =
       Pmem.with_unmetered pm (fun () -> prepared.Workload.checksum ())
@@ -119,10 +139,59 @@ module Run = struct
       updates;
       avg_tx_bytes =
         (if txs = 0 then 0.0 else float_of_int ws_bytes /. float_of_int txs);
+      tx_latency = Obs.Hist.snapshot counters.Profile.lat_hist;
+      write_set = Obs.Hist.snapshot counters.Profile.ws_hist;
+      phases = Obs.Phase.snapshot ();
+      metrics = Obs.Metrics.dump ();
     }
 
   let run ?seed ?mem ~scheme (w : Workload.t) scale =
     run_custom ?seed ?mem
       ~make:(fun heap -> create_scheme heap scheme)
       ~name:scheme w scale
+
+  (** {2 JSON reports}
+
+      The machine-readable face of the harness: one object per
+      measurement, schema-stable across PRs so the bench trajectory can
+      be diffed.  See EXPERIMENTS.md, "JSON bench reports". *)
+
+  (** Bumped on any incompatible change to the report layout. *)
+  let schema_version = 1
+
+  let measurement_to_json (m : measurement) =
+    Json.Obj
+      [
+        ("scheme", Json.Str m.scheme);
+        ("workload", Json.Str m.workload);
+        ("ns", Json.Float m.ns);
+        ("bg_ns", Json.Float m.bg_ns);
+        ("fences", Json.Int m.fences);
+        ("clwbs", Json.Int m.clwbs);
+        ("pm_write_lines", Json.Int m.pm_write_lines);
+        ("pm_read_lines", Json.Int m.pm_read_lines);
+        ("log_bytes", Json.Int m.log_bytes);
+        ("checksum", Json.Str (Printf.sprintf "%x" m.checksum));
+        ("txs", Json.Int m.txs);
+        ("updates", Json.Int m.updates);
+        ("avg_tx_bytes", Json.Float m.avg_tx_bytes);
+        ("tx_latency_ns", Obs.Hist.to_json m.tx_latency);
+        ("write_set_bytes", Obs.Hist.to_json m.write_set);
+        ("phases", Obs.Phase.to_json m.phases);
+        ("metrics", m.metrics);
+      ]
+
+  let report_to_json ?(extra = []) ~scale measurements =
+    Json.Obj
+      ([
+         ("schema_version", Json.Int schema_version);
+         ("generator", Json.Str "specpmt-bench");
+         ("scale", Json.Str scale);
+       ]
+      @ extra
+      @ [ ("results", Json.List (List.map measurement_to_json measurements)) ]
+      )
+
+  let write_report ?extra ~scale ~path measurements =
+    Json.to_file path (report_to_json ?extra ~scale measurements)
 end

@@ -1,0 +1,39 @@
+(** Log2-bucket histograms.
+
+    Fixed 64-bucket power-of-two histograms over non-negative integer
+    samples (latencies in simulated nanoseconds, write-set sizes in
+    bytes).  Bucket [0] counts samples [<= 0]; bucket [i >= 1] counts
+    samples in [[2^(i-1), 2^i)].  Observation is O(1) with no
+    allocation, so the per-transaction hot path can afford it. *)
+
+type t
+
+type snapshot = {
+  count : int;
+  sum : float;
+  min : int;  (** 0 when [count = 0] *)
+  max : int;
+  buckets : (int * int) list;
+      (** non-empty buckets as [(inclusive lower bound, count)] pairs,
+          ascending *)
+}
+
+val create : unit -> t
+
+val observe : t -> int -> unit
+(** Record one sample (negative samples land in bucket 0). *)
+
+val reset : t -> unit
+val snapshot : t -> snapshot
+
+val mean : snapshot -> float
+(** 0 when empty. *)
+
+val quantile : snapshot -> float -> int
+(** [quantile s q] estimates the [q]-quantile ([0 <= q <= 1]) from the
+    bucket boundaries: the upper bound of the bucket holding the
+    [q*count]-th sample.  0 when empty. *)
+
+val to_json : snapshot -> Json.t
+(** Schema: [{"count", "sum", "mean", "min", "max", "p50", "p90", "p99",
+    "buckets": [[lo, count], ...]}]. *)

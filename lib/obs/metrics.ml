@@ -1,0 +1,75 @@
+type counter = { mutable n : int }
+type gauge = { mutable g : float }
+
+type item = C of counter | G of gauge | H of Hist.t
+
+let registry : (string, item) Hashtbl.t = Hashtbl.create 64
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let get name mk match_item =
+  match Hashtbl.find_opt registry name with
+  | Some item -> (
+      match match_item item with
+      | Some v -> v
+      | None ->
+          Fmt.invalid_arg "Metrics: %S already registered as a %s" name
+            (kind_name item))
+  | None ->
+      let item, v = mk () in
+      Hashtbl.replace registry name item;
+      v
+
+let counter name =
+  get name
+    (fun () ->
+      let c = { n = 0 } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let counter_value c = c.n
+
+let gauge name =
+  get name
+    (fun () ->
+      let g = { g = 0.0 } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+let set_gauge g v = g.g <- v
+let gauge_value g = g.g
+
+let histogram name =
+  get name
+    (fun () ->
+      let h = Hist.create () in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ item ->
+      match item with
+      | C c -> c.n <- 0
+      | G g -> g.g <- 0.0
+      | H h -> Hist.reset h)
+    registry
+
+let dump () =
+  let cs = ref [] and gs = ref [] and hs = ref [] in
+  Hashtbl.iter
+    (fun name item ->
+      match item with
+      | C c -> cs := (name, Json.Int c.n) :: !cs
+      | G g -> gs := (name, Json.Float g.g) :: !gs
+      | H h -> hs := (name, Hist.to_json (Hist.snapshot h)) :: !hs)
+    registry;
+  let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) !l in
+  Json.Obj
+    [
+      ("counters", Json.Obj (sorted cs));
+      ("gauges", Json.Obj (sorted gs));
+      ("histograms", Json.Obj (sorted hs));
+    ]

@@ -1,0 +1,34 @@
+(** Process-wide registry of named counters, gauges and histograms.
+
+    Subsystems register metrics lazily by name ([counter "reclaim.cycles"]
+    returns the same cell every time) and bump them with no further
+    coordination; the harness snapshots or resets the whole registry
+    around each measured run.  Names are dot-separated
+    [subsystem.metric] paths. *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Get or create.  Raises [Invalid_argument] if the name is already
+    registered as a different kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : string -> Hist.t
+(** Get or create a registry-owned histogram (also reset by
+    {!reset_all}). *)
+
+val reset_all : unit -> unit
+(** Zero every counter and gauge and reset every histogram — called by
+    the harness between measured runs. *)
+
+val dump : unit -> Json.t
+(** All metrics, sorted by name:
+    [{"counters": {..}, "gauges": {..}, "histograms": {..}}]. *)

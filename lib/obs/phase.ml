@@ -1,0 +1,118 @@
+type phase = Prepare | Work | Drain | Recover | Reclaim | Other
+
+let all = [ Prepare; Work; Drain; Recover; Reclaim; Other ]
+
+let name = function
+  | Prepare -> "prepare"
+  | Work -> "work"
+  | Drain -> "drain"
+  | Recover -> "recover"
+  | Reclaim -> "reclaim"
+  | Other -> "other"
+
+let index = function
+  | Prepare -> 0
+  | Work -> 1
+  | Drain -> 2
+  | Recover -> 3
+  | Reclaim -> 4
+  | Other -> 5
+
+let nphases = 6
+
+type cell = {
+  mutable fences : int;
+  mutable clwbs : int;
+  mutable nt_stores : int;
+  mutable pm_write_lines : int;
+  mutable pm_read_lines : int;
+}
+
+let cells =
+  Array.init nphases (fun _ ->
+      { fences = 0; clwbs = 0; nt_stores = 0; pm_write_lines = 0;
+        pm_read_lines = 0 })
+
+let cur = ref Other
+let cur_cell = ref cells.(index Other)
+
+let current () = !cur
+
+let run p f =
+  let saved = !cur and saved_cell = !cur_cell in
+  cur := p;
+  cur_cell := cells.(index p);
+  Fun.protect
+    ~finally:(fun () ->
+      cur := saved;
+      cur_cell := saved_cell)
+    f
+
+let on_fence () =
+  let c = !cur_cell in
+  c.fences <- c.fences + 1
+
+let on_clwb () =
+  let c = !cur_cell in
+  c.clwbs <- c.clwbs + 1
+
+let on_nt_store () =
+  let c = !cur_cell in
+  c.nt_stores <- c.nt_stores + 1
+
+let on_pm_write_line () =
+  let c = !cur_cell in
+  c.pm_write_lines <- c.pm_write_lines + 1
+
+let on_pm_read_line () =
+  let c = !cur_cell in
+  c.pm_read_lines <- c.pm_read_lines + 1
+
+type counters = {
+  fences : int;
+  clwbs : int;
+  nt_stores : int;
+  pm_write_lines : int;
+  pm_read_lines : int;
+}
+
+type snapshot = (phase * counters) list
+
+let snapshot () =
+  List.map
+    (fun p ->
+      let c = cells.(index p) in
+      ( p,
+        {
+          fences = c.fences;
+          clwbs = c.clwbs;
+          nt_stores = c.nt_stores;
+          pm_write_lines = c.pm_write_lines;
+          pm_read_lines = c.pm_read_lines;
+        } ))
+    all
+
+let reset () =
+  Array.iter
+    (fun (c : cell) ->
+      c.fences <- 0;
+      c.clwbs <- 0;
+      c.nt_stores <- 0;
+      c.pm_write_lines <- 0;
+      c.pm_read_lines <- 0)
+    cells
+
+let to_json (s : snapshot) =
+  Json.Obj
+    (List.map
+       (fun (p, c) ->
+         ( name p,
+           Json.Obj
+             [
+               ("fences", Json.Int c.fences);
+               ("clwbs", Json.Int c.clwbs);
+               ("nt_stores", Json.Int c.nt_stores);
+               ("pm_write_lines", Json.Int c.pm_write_lines);
+               ("pm_read_lines", Json.Int c.pm_read_lines);
+             ] ))
+       s)

@@ -1,0 +1,53 @@
+(** Span-style phase attribution for persistence events.
+
+    The device model reports totals (fences, clwbs, PM write lines); the
+    figures need to know {e which part of a run} paid them — setup,
+    the measured transaction phase, the drain of background work, crash
+    recovery, or log reclamation.  The harness brackets each span with
+    {!run} and the device layer calls the [on_*] hooks; the per-phase
+    tallies come back with {!snapshot}.
+
+    One global current phase is enough: the simulator is a sequential
+    interpreter, so at most one span is active at a time.  Nested {!run}s
+    attribute to the innermost phase (e.g. a reclamation triggered inside
+    the work phase counts as [Reclaim]). *)
+
+type phase = Prepare | Work | Drain | Recover | Reclaim | Other
+
+val all : phase list
+(** In report order: prepare, work, drain, recover, reclaim, other. *)
+
+val name : phase -> string
+val current : unit -> phase
+
+val run : phase -> (unit -> 'a) -> 'a
+(** Execute in the given phase, restoring the previous one on exit
+    (exception-safe). *)
+
+(** {1 Device-layer hooks (O(1), allocation-free)} *)
+
+val on_fence : unit -> unit
+val on_clwb : unit -> unit
+val on_pm_write_line : unit -> unit
+val on_pm_read_line : unit -> unit
+val on_nt_store : unit -> unit
+
+(** {1 Collection} *)
+
+type counters = {
+  fences : int;
+  clwbs : int;
+  nt_stores : int;
+  pm_write_lines : int;
+  pm_read_lines : int;
+}
+
+type snapshot = (phase * counters) list
+(** One entry per member of {!all}, in order. *)
+
+val snapshot : unit -> snapshot
+val reset : unit -> unit
+
+val to_json : snapshot -> Json.t
+(** Object keyed by phase name; phases with all-zero counters are kept so
+    the schema is stable. *)

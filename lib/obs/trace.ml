@@ -1,0 +1,47 @@
+type event = { seq : int; phase : Phase.phase; label : string; a : int; b : int }
+
+let nil = { seq = -1; phase = Phase.Other; label = ""; a = 0; b = 0 }
+let ring : event array ref = ref [||]
+let pos = ref 0
+
+let set_capacity n =
+  ring := (if n <= 0 then [||] else Array.make n nil);
+  pos := 0
+
+let enabled () = Array.length !ring > 0
+let clear () = set_capacity (Array.length !ring)
+
+let emit ?(a = 0) ?(b = 0) label =
+  let r = !ring in
+  let n = Array.length r in
+  if n > 0 then begin
+    r.(!pos mod n) <- { seq = !pos; phase = Phase.current (); label; a; b };
+    incr pos
+  end
+
+let recent () =
+  let r = !ring in
+  let n = Array.length r in
+  let count = min n !pos in
+  List.init count (fun i -> r.((!pos - count + i) mod n))
+
+let pp_event ppf e =
+  Fmt.pf ppf "#%d [%s] %s a=%d b=%d" e.seq (Phase.name e.phase) e.label e.a
+    e.b
+
+let dump ppf () =
+  List.iter (fun e -> Fmt.pf ppf "%a@." pp_event e) (recent ())
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun e ->
+         Json.Obj
+           [
+             ("seq", Json.Int e.seq);
+             ("phase", Json.Str (Phase.name e.phase));
+             ("label", Json.Str e.label);
+             ("a", Json.Int e.a);
+             ("b", Json.Int e.b);
+           ])
+       (recent ()))

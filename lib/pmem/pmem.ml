@@ -109,6 +109,7 @@ let media_write_line ?(meter = true) t li (content : bytes) =
   if meter && t.metered then begin
     let seq = li = t.last_persist_line + 1 || li = t.last_persist_line in
     t.stats.Stats.pm_write_lines <- t.stats.Stats.pm_write_lines + 1;
+    Specpmt_obs.Phase.on_pm_write_line ();
     if seq then
       t.stats.Stats.pm_write_lines_seq <- t.stats.Stats.pm_write_lines_seq + 1;
     (* unmetered (background-core) writes must not perturb the foreground
@@ -165,6 +166,7 @@ let get_line t li ~for_load =
   | None ->
       if for_load then begin
         count (fun s -> s.Stats.pm_read_lines <- s.Stats.pm_read_lines + 1) t;
+        if t.metered then Specpmt_obs.Phase.on_pm_read_line ();
         charge t t.cfg.Config.pm_read_ns
       end
       else charge t t.cfg.Config.l1_hit_ns;
@@ -240,6 +242,7 @@ let clwb t addr =
   burn_fuse t;
   record_op t (Clwb addr);
   count (fun s -> s.Stats.clwbs <- s.Stats.clwbs + 1) t;
+  if t.metered then Specpmt_obs.Phase.on_clwb ();
   charge t t.cfg.Config.clwb_issue_ns;
   if not t.cfg.Config.eadr then
     let li = Addr.line_index addr in
@@ -262,6 +265,7 @@ let sfence t =
   burn_fuse t;
   record_op t Sfence;
   count (fun s -> s.Stats.fences <- s.Stats.fences + 1) t;
+  if t.metered then Specpmt_obs.Phase.on_fence ();
   let latest = List.fold_left Float.max t.stats.Stats.ns t.pending in
   if t.metered then t.stats.Stats.ns <- latest +. t.cfg.Config.fence_ns;
   t.pending <- []
@@ -277,6 +281,7 @@ let nt_store_bytes t addr b =
     burn_fuse t;
     record_op t (Nt_store (addr, len));
     count (fun s -> s.Stats.nt_stores <- s.Stats.nt_stores + 1) t;
+    if t.metered then Specpmt_obs.Phase.on_nt_store ();
     let pos = ref 0 in
     while !pos < len do
       let a = addr + !pos in

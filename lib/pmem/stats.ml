@@ -55,6 +55,23 @@ let diff a b =
 
 let pm_write_bytes t = t.pm_write_lines * Addr.line_size
 
+let to_json t =
+  let open Specpmt_obs.Json in
+  Obj
+    [
+      ("loads", Int t.loads);
+      ("stores", Int t.stores);
+      ("clwbs", Int t.clwbs);
+      ("fences", Int t.fences);
+      ("nt_stores", Int t.nt_stores);
+      ("pm_read_lines", Int t.pm_read_lines);
+      ("pm_write_lines", Int t.pm_write_lines);
+      ("pm_write_lines_seq", Int t.pm_write_lines_seq);
+      ("evictions", Int t.evictions);
+      ("ns", Float t.ns);
+      ("bg_ns", Float t.bg_ns);
+    ]
+
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>loads %d; stores %d; clwbs %d; fences %d; nt %d@ pm-reads %d \

@@ -28,3 +28,7 @@ val diff : t -> t -> t
 
 val pm_write_bytes : t -> int
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Specpmt_obs.Json.t
+(** Every counter, keyed by its field name — the building block of the
+    machine-readable bench reports. *)

@@ -1,17 +1,32 @@
 (** Transaction profiling (paper Table 2): wraps a backend and counts, per
     transaction, the number of update operations and the unique cells
-    written (the write-set size in bytes). *)
+    written (the write-set size in bytes); also feeds the per-transaction
+    latency and write-set-size histograms of the bench reports. *)
 
 open Specpmt_pmem
 open Specpmt_txn
+module Hist = Specpmt_obs.Hist
 
 type counters = {
   mutable txs : int;
   mutable updates : int;
   mutable ws_bytes : int; (* sum over txs of unique cells * 8 *)
+  lat_hist : Hist.t;
+  ws_hist : Hist.t;
 }
 
-let fresh () = { txs = 0; updates = 0; ws_bytes = 0 }
+let fresh () =
+  {
+    txs = 0;
+    updates = 0;
+    ws_bytes = 0;
+    lat_hist = Hist.create ();
+    ws_hist = Hist.create ();
+  }
+
+let reset_histograms c =
+  Hist.reset c.lat_hist;
+  Hist.reset c.ws_hist
 
 let avg_tx_bytes c =
   if c.txs = 0 then 0.0 else float_of_int c.ws_bytes /. float_of_int c.txs
@@ -21,7 +36,7 @@ let pp ppf c =
 
 (** [wrap backend] counts transactional writes flowing through the
     returned backend. *)
-let wrap (b : Ctx.backend) =
+let wrap ?clock (b : Ctx.backend) =
   let c = fresh () in
   let cells : (Addr.t, unit) Hashtbl.t = Hashtbl.create 64 in
   let wrap_ctx (ctx : Ctx.ctx) =
@@ -40,9 +55,15 @@ let wrap (b : Ctx.backend) =
       Ctx.run_tx =
         (fun f ->
           Hashtbl.reset cells;
+          let t0 = match clock with Some now -> now () | None -> 0.0 in
           let r = b.Ctx.run_tx (fun ctx -> f (wrap_ctx ctx)) in
+          (match clock with
+          | Some now -> Hist.observe c.lat_hist (int_of_float (now () -. t0))
+          | None -> ());
+          let ws = 8 * Hashtbl.length cells in
           c.txs <- c.txs + 1;
-          c.ws_bytes <- c.ws_bytes + (8 * Hashtbl.length cells);
+          c.ws_bytes <- c.ws_bytes + ws;
+          Hist.observe c.ws_hist ws;
           r);
     }
   in

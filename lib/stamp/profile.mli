@@ -2,7 +2,9 @@
 
     Wraps a backend so that every transaction flowing through it counts
     its update operations and unique cells written (the write-set size in
-    bytes). *)
+    bytes), and feeds the per-transaction distributions behind the JSON
+    bench reports: a write-set-size histogram always, and a latency
+    histogram when a [clock] is supplied. *)
 
 open Specpmt_txn
 
@@ -10,11 +12,21 @@ type counters = {
   mutable txs : int;
   mutable updates : int;
   mutable ws_bytes : int;  (** sum over transactions of unique cells x 8 *)
+  lat_hist : Specpmt_obs.Hist.t;
+      (** per-transaction latency (clock units, typically simulated ns) *)
+  ws_hist : Specpmt_obs.Hist.t;  (** per-transaction write-set bytes *)
 }
 
 val fresh : unit -> counters
 val avg_tx_bytes : counters -> float
 val pp : Format.formatter -> counters -> unit
 
-val wrap : Ctx.backend -> Ctx.backend * counters
-(** The returned backend behaves identically; the counters accumulate. *)
+val reset_histograms : counters -> unit
+(** Clear only the distributions — the harness calls this after the
+    (counted but unmeasured) setup phase so the histograms cover exactly
+    the measured transactions. *)
+
+val wrap : ?clock:(unit -> float) -> Ctx.backend -> Ctx.backend * counters
+(** The returned backend behaves identically; the counters accumulate.
+    [clock] is sampled around every transaction to feed [lat_hist]
+    (omit it and the latency histogram stays empty). *)

@@ -254,6 +254,7 @@ let commit_record ?(fence = true) ?(flush = true) t ~timestamp =
     if fence then Pmem.sfence t.pm;
     t.pending_spans <- []
   end;
+  Specpmt_obs.Trace.emit "arena.commit" ~a:timestamp ~b:t.rec_entries;
   t.rec_meta <- -1;
   t.rec_block <- -1;
   t.rec_size <- 0;
@@ -332,15 +333,18 @@ let attach heap ~head_slot ~block_bytes =
     let _, pos, cur_block =
       scan_prefix pm ~block_bytes ~head ~f:(fun ~ts:_ _ -> ())
     in
-    (* rebuild the block list by walking the chain *)
+    (* rebuild the block list by walking the chain; a hashed visited set
+       keeps the cycle check O(1) per block on long chains *)
     let blocks = ref [] in
+    let visited : (Addr.t, unit) Hashtbl.t = Hashtbl.create 64 in
     let b = ref head in
     let mem = Pmem.mem_size pm in
     let looping = ref true in
     while !looping do
       blocks := !b :: !blocks;
+      Hashtbl.replace visited !b ();
       let nb = Pmem.load_int pm !b in
-      if nb <= 0 || nb + block_bytes > mem || List.mem nb !blocks then
+      if nb <= 0 || nb + block_bytes > mem || Hashtbl.mem visited nb then
         looping := false
       else b := nb
     done;
@@ -348,9 +352,18 @@ let attach heap ~head_slot ~block_bytes =
     t.blocks <- !blocks;
     t.cur_block <- cur_block;
     t.pos <- pos;
-    (* make sure torn garbage right at the append point cannot be mistaken
-       for a record before the next commit *)
+    (* Make sure torn garbage right at the append point cannot be mistaken
+       for a record before the next commit.  The sentinel must itself be
+       persisted: a crash before the next commit would otherwise drop the
+       volatile zero while leaving whatever the media held at [pos] — and
+       if post-attach appends re-populate the torn record's entry words
+       (a re-executed transaction writes the same entries at the same
+       offsets), a second crash can leak them and complete a stale record
+       whose checksum validates. *)
     Pmem.store_int pm pos 0;
+    Pmem.clwb pm pos;
+    Pmem.sfence pm;
+    Specpmt_obs.Trace.emit "arena.attach" ~a:head ~b:pos;
     t
   end
 
@@ -413,11 +426,11 @@ let seal_block t =
 
 let drop_prefix t ~keep_from =
   assert (not (has_open_record t));
-  if not (List.mem keep_from t.blocks) then
-    invalid_arg "Log_arena.drop_prefix: unknown boundary block";
-  (* blocks is newest-first; everything after [keep_from] is the prefix *)
+  (* blocks is newest-first; everything after [keep_from] is the prefix.
+     One pass both finds the boundary and splits, instead of a [List.mem]
+     probe followed by a second walk. *)
   let rec split acc = function
-    | [] -> (List.rev acc, [])
+    | [] -> invalid_arg "Log_arena.drop_prefix: unknown boundary block"
     | b :: rest when b = keep_from -> (List.rev (b :: acc), rest)
     | b :: rest -> split (b :: acc) rest
   in
@@ -474,10 +487,22 @@ let compact t =
   t.cur_block <- t2.cur_block;
   t.pos <- t2.pos;
   t.pending_spans <- t2.pending_spans;
-  {
-    records_scanned = !records;
-    entries_scanned = !scanned;
-    entries_live = live;
-    blocks_freed = List.length old_blocks;
-    blocks_allocated = List.length t2.blocks;
-  }
+  let stats =
+    {
+      records_scanned = !records;
+      entries_scanned = !scanned;
+      entries_live = live;
+      blocks_freed = List.length old_blocks;
+      blocks_allocated = List.length t2.blocks;
+    }
+  in
+  let open Specpmt_obs in
+  Metrics.incr (Metrics.counter "log.compact.cycles");
+  Metrics.add (Metrics.counter "log.compact.records_scanned") !records;
+  Metrics.add (Metrics.counter "log.compact.entries_scanned") !scanned;
+  Metrics.add (Metrics.counter "log.compact.entries_live") live;
+  Metrics.add (Metrics.counter "log.compact.blocks_freed") stats.blocks_freed;
+  Metrics.add (Metrics.counter "log.compact.blocks_allocated")
+    stats.blocks_allocated;
+  Trace.emit "arena.compact" ~a:stats.blocks_freed ~b:live;
+  stats

@@ -13,7 +13,19 @@ module H = Specpmt_pstruct.Phashtbl
 let schemes =
   [ "PMDK"; "SPHT"; "SpecSPMT-DP"; "SpecSPMT"; "Spec-hashlog"; "EDE"; "HOOP"; "SpecHPMT-DP"; "SpecHPMT" ]
 
+(* On an audit failure the assertion message alone is useless — the bug is
+   in whatever the log did just before the crash.  Keep a small event ring
+   during the torture and attach it to the failure. *)
+let failf_with_trace fmt =
+  Format.kasprintf
+    (fun msg ->
+      Alcotest.failf "%s@.last traced events:@.%a" msg
+        (fun ppf () -> Obs.Trace.dump ppf ())
+        ())
+    fmt
+
 let torture scheme ~seed ~rounds () =
+  Obs.Trace.set_capacity 128;
   let pm =
     Pmem.create ~seed
       { Pmem_config.default with crash_word_persist_prob = 0.7 }
@@ -48,7 +60,7 @@ let torture scheme ~seed ~rounds () =
         | _ -> incr mismatches)
       reference;
     if !mismatches > 1 then
-      Alcotest.failf "%s: round %d: %d mismatches — not crash consistent"
+      failf_with_trace "%s: round %d: %d mismatches — not crash consistent"
         scheme round !mismatches;
     (* reconcile the possibly in-flight transaction *)
     if !mismatches = 1 then begin
@@ -97,7 +109,7 @@ let torture_mt ~seed ~rounds () =
         | _ -> incr mismatches)
       reference;
     if !mismatches > 1 then
-      Alcotest.failf "SpecHPMT-Mt: round %d: %d mismatches" round !mismatches;
+      failf_with_trace "SpecHPMT-Mt: round %d: %d mismatches" round !mismatches;
     if !mismatches = 1 then begin
       Hashtbl.reset reference;
       H.iter ctx store (fun k v -> Hashtbl.replace reference k v)

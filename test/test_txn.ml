@@ -306,6 +306,97 @@ let test_seal_and_drop_prefix () =
   Alcotest.(check (list int)) "only the records after the boundary"
     [ 3; 2; 1 ] !seen
 
+(* Directed crash-during-recovery scenario for the attach sentinel: a
+   record whose commit was torn by a first crash is truncated by
+   recovery; the application then re-executes the same transaction at the
+   same append point (deterministic replay writes the same entries at the
+   same offsets) and a second crash hits before the new commit.  Word
+   leakage at the second crash can re-populate exactly the entry words
+   the first crash lost — combined with the already-persistent metadata
+   of the torn record, the checksum validates and recovery #2 replays a
+   record recovery #1 rejected.  The zero sentinel [attach] writes over
+   the torn record's size word prevents this, but only if it is
+   persisted (clwb + sfence): the volatile store of the original code is
+   itself lost at the second crash.  This test fails on the unflushed
+   version. *)
+let test_attach_sentinel_second_crash () =
+  let target_ts = 3 in
+  let entries = List.init 6 (fun i -> (2048 + (8 * i), 3000 + i)) in
+  let scan_ts pm =
+    let seen = ref [] in
+    let _ =
+      Log_arena.recover_scan pm ~head_slot ~block_bytes:bb ~f:(fun ~ts _ ->
+          seen := ts :: !seen)
+    in
+    List.rev !seen
+  in
+  let resurrections = ref 0 and torn_cases = ref 0 in
+  let run_one ~seed ~fuse =
+    let pm =
+      Pmem.create ~seed { Config.small with crash_word_persist_prob = 0.7 }
+    in
+    let heap = Heap.create pm in
+    let a = Log_arena.create heap ~head_slot ~block_bytes:bb in
+    Log_arena.begin_record a;
+    ignore (Log_arena.add_entry a ~target:1000 ~value:1);
+    Log_arena.commit_record a ~timestamp:1;
+    Log_arena.begin_record a;
+    ignore (Log_arena.add_entry a ~target:1008 ~value:2);
+    Log_arena.commit_record a ~timestamp:2;
+    (* third transaction: tear its commit at event [fuse] *)
+    Pmem.set_fuse pm (Some fuse);
+    let crashed =
+      try
+        Log_arena.begin_record a;
+        List.iter
+          (fun (t, v) -> ignore (Log_arena.add_entry a ~target:t ~value:v))
+          entries;
+        Log_arena.commit_record a ~timestamp:target_ts;
+        Pmem.set_fuse pm None;
+        false
+      with Pmem.Crash -> true
+    in
+    if not crashed then `Commit_completed
+    else begin
+      Pmem.crash pm;
+      let s1 = scan_ts pm in
+      if List.mem target_ts s1 then
+        (* the whole record leaked at the first crash: it is durable, not
+           torn — nothing to resurrect *)
+        `Lucky_leak
+      else begin
+        incr torn_cases;
+        (* recovery: reattach, then re-execute the same transaction; the
+           second crash hits before its commit *)
+        let a2 = Log_arena.attach heap ~head_slot ~block_bytes:bb in
+        Log_arena.begin_record a2;
+        List.iter
+          (fun (t, v) -> ignore (Log_arena.add_entry a2 ~target:t ~value:v))
+          entries;
+        Pmem.crash pm;
+        let s2 = scan_ts pm in
+        if List.mem target_ts s2 then incr resurrections;
+        (* recovery #2 must replay a subset of what recovery #1 saw *)
+        if not (List.for_all (fun ts -> List.mem ts s1) s2) then
+          incr resurrections;
+        `Torn
+      end
+    end
+  in
+  (* sweep the crash point across the whole commit and several leak
+     patterns; stop each seed's sweep once the fuse outlives the commit *)
+  for seed = 0 to 14 do
+    let fuse = ref 1 and sweeping = ref true in
+    while !sweeping do
+      (match run_one ~seed ~fuse:!fuse with
+      | `Commit_completed -> sweeping := false
+      | `Lucky_leak | `Torn -> ());
+      incr fuse
+    done
+  done;
+  Alcotest.(check bool) "sweep exercised torn commits" true (!torn_cases > 0);
+  Alcotest.(check int) "no torn record is ever resurrected" 0 !resurrections
+
 let test_abandon_record () =
   let pm, _, a = mk_arena () in
   Log_arena.begin_record a;
@@ -428,6 +519,8 @@ let () =
           Alcotest.test_case "seal + drop prefix" `Quick
             test_seal_and_drop_prefix;
           Alcotest.test_case "abandon record" `Quick test_abandon_record;
+          Alcotest.test_case "attach sentinel survives second crash" `Slow
+            test_attach_sentinel_second_crash;
           QCheck_alcotest.to_alcotest prop_arena_roundtrip;
           QCheck_alcotest.to_alcotest prop_crash_prefix;
         ] );
