@@ -3,10 +3,13 @@
      dune exec bin/specpmt_run.exe -- run --workload genome --scheme SpecSPMT
      dune exec bin/specpmt_run.exe -- list
      dune exec bin/specpmt_run.exe -- crash --workload intruder --scheme SpecSPMT
+     dune exec bin/specpmt_run.exe -- explore --scheme SpecSPMT --budget 2000
 
    `run` measures one workload x scheme pair and prints the measurement;
    `crash` injects a crash mid-run, recovers, and audits the final state
-   against an uninterrupted run; `list` enumerates schemes and workloads. *)
+   against an uninterrupted run; `explore` walks the crash-state space of
+   a small transactional workload deterministically (see Specpmt.Crashmc);
+   `list` enumerates schemes and workloads. *)
 
 open Cmdliner
 open Specpmt
@@ -223,8 +226,111 @@ let fuzz_cmd =
        ~doc:"Randomized crash-recovery torture over a durable hash table")
     Term.(const run $ scheme_arg $ seed_arg $ rounds_arg)
 
+let explore_cmd =
+  let budget_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "budget" ] ~doc:"Maximum crash cases to execute.")
+  in
+  let cells_arg =
+    Arg.(value & opt int 8 & info [ "cells" ] ~doc:"Workload cells.")
+  in
+  let txs_arg =
+    Arg.(value & opt int 6 & info [ "txs" ] ~doc:"Random transactions.")
+  in
+  let max_writes_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "max-writes" ] ~doc:"Maximum writes per transaction.")
+  in
+  let policies_arg =
+    Arg.(
+      value
+      & opt string "all,none,lines"
+      & info [ "policies" ]
+          ~doc:"Persist-choice families per crash point (all,none,lines,words).")
+  in
+  let fuse_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuse" ] ~docv:"N"
+          ~doc:"Replay one case: crash at the $(docv)-th memory event.")
+  in
+  let choice_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "choice" ] ~docv:"CHOICE"
+          ~doc:
+            "Replay one case: persist choice (all, none, keepline:K, \
+             dropline:K, keepword:K, dropword:K).")
+  in
+  let run scheme seed budget cells txs max_writes policies fuse choice json =
+    let fail fmt = Fmt.kpf (fun _ -> exit 2) Fmt.stderr fmt in
+    let policies =
+      match Crashmc.policies_of_string policies with
+      | Ok p -> p
+      | Error e -> fail "specpmt_run: %s@." e
+    in
+    match (fuse, choice) with
+    | Some fuse, Some choice -> (
+        let choice =
+          match Crashmc.choice_of_string choice with
+          | Ok c -> c
+          | Error e -> fail "specpmt_run: %s@." e
+        in
+        match
+          Crashmc.replay ~cells ~txs ~max_writes ~scheme ~seed ~fuse ~choice ()
+        with
+        | Crashmc.Run_completed ->
+            Fmt.pr "fuse %d outlived the workload; nothing to audit@." fuse
+        | Crashmc.Audit_ok committed ->
+            Fmt.pr
+              "replayed fuse %d, choice %s: crashed after %d committed \
+               transactions, recovered, audit clean@."
+              fuse
+              (Crashmc.choice_to_string choice)
+              committed
+        | Crashmc.Audit_failed f ->
+            Fmt.pr "audit FAILED:@.%a@." Crashmc.pp_failure f;
+            List.iter (fun l -> Fmt.pr "  trace: %s@." l) f.Crashmc.trace;
+            exit 1)
+    | None, None ->
+        let r =
+          Crashmc.explore ~cells ~txs ~max_writes ~budget ~policies ~scheme
+            ~seed ()
+        in
+        Fmt.pr
+          "%s: %d crash points (of %d events, stride %d) x persist choices = \
+           %d cases, %d clean@."
+          r.Crashmc.scheme r.Crashmc.points r.Crashmc.total_events
+          r.Crashmc.stride r.Crashmc.cases r.Crashmc.passes;
+        List.iter
+          (fun f ->
+            Fmt.pr "FAILURE %a@." Crashmc.pp_failure f;
+            List.iter (fun l -> Fmt.pr "  trace: %s@." l) f.Crashmc.trace)
+          r.Crashmc.failures;
+        Option.iter
+          (fun path ->
+            Json.to_file path (Crashmc.report_to_json r);
+            Fmt.pr "wrote JSON report to %s@." path)
+          json;
+        if r.Crashmc.failures <> [] then exit 1
+    | _ -> fail "specpmt_run: replay needs both --fuse and --choice@."
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Deterministically explore the crash-state space of a scheme \
+          (crashmc)")
+    Term.(
+      const run $ scheme_arg $ seed_arg $ budget_arg $ cells_arg $ txs_arg
+      $ max_writes_arg $ policies_arg $ fuse_arg $ choice_arg $ json_arg)
+
 let () =
   let info = Cmd.info "specpmt_run" ~doc:"SpecPMT workload runner" in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; compare_cmd; crash_cmd; fuzz_cmd ]))
+       (Cmd.group info
+          [ list_cmd; run_cmd; compare_cmd; crash_cmd; fuzz_cmd; explore_cmd ]))

@@ -31,6 +31,7 @@ let create ?(params = Spec_soft.default_params) heap ~threads =
   }
 
 let thread t i = t.backends.(i)
+let runtime t i = t.runtimes.(i)
 let threads t = Array.length t.backends
 
 (* Recovery (Sections 4.1 and 5.2.2): collect the valid records of every

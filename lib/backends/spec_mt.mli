@@ -23,6 +23,10 @@ val create : ?params:Spec_soft.params -> Heap.t -> threads:int -> t
 val thread : t -> int -> Ctx.backend
 (** The transactional interface of one thread. *)
 
+val runtime : t -> int -> Spec_soft.t
+(** The underlying per-thread runtime — for reclamation triggers
+    ({!Spec_soft.reclaim_now}) and crash-exploration drivers. *)
+
 val threads : t -> int
 
 val recover : t -> unit

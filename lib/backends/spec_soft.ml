@@ -24,6 +24,10 @@ type t = {
       (* transactional frees deferred to commit: an uncommitted free must
          never become durable, or recovery could revive a pointer into a
          reallocated block *)
+  mutable allocs : Addr.t list;
+      (* allocations made by the open transaction: released again on
+         rollback, otherwise an aborted transaction leaks them forever
+         (frees are deferred; allocs must be compensated) *)
   mutable arena : Log_arena.t;
   mutable in_tx : bool;
   mutable reclaims : int;
@@ -99,6 +103,7 @@ let commit t =
   end;
   List.iter (fun a -> Heap.free t.heap a) (List.rev t.frees);
   t.frees <- [];
+  t.allocs <- [];
   Write_set.clear t.ws;
   t.in_tx <- false;
   maybe_reclaim t
@@ -117,6 +122,10 @@ let rollback t =
     let ts = Tsc.next t.tsc in
     Log_arena.commit_record t.arena ~timestamp:ts
   end;
+  (* compensate the aborted transaction's allocations: its deferred frees
+     are simply dropped, but blocks it allocated would otherwise leak *)
+  List.iter (fun a -> Heap.free t.heap a) t.allocs;
+  t.allocs <- [];
   t.frees <- [];
   Write_set.clear t.ws;
   t.in_tx <- false
@@ -129,7 +138,11 @@ let run_tx t f =
     {
       Ctx.read = (fun a -> Pmem.load_int t.pm a);
       write = (fun a v -> tx_write t a v);
-      alloc = (fun n -> Heap.alloc t.heap n);
+      alloc =
+        (fun n ->
+          let a = Heap.alloc t.heap n in
+          t.allocs <- a :: t.allocs;
+          a);
       free = (fun a -> t.frees <- a :: t.frees);
     }
   in
@@ -174,6 +187,7 @@ let recover t =
     Log_arena.attach t.heap ~head_slot:t.head_slot
       ~block_bytes:t.params.block_bytes;
   t.frees <- [] (* deferred frees of a crashed transaction are dead *);
+  t.allocs <- [] (* likewise its allocations: Heap.recover owns the walk *);
   Write_set.clear t.ws;
   t.in_tx <- false;
   Metrics.incr (Metrics.counter "recover.cycles");
@@ -189,6 +203,7 @@ let reattach t =
     Log_arena.attach t.heap ~head_slot:t.head_slot
       ~block_bytes:t.params.block_bytes;
   t.frees <- [];
+  t.allocs <- [];
   Write_set.clear t.ws;
   t.in_tx <- false
 
@@ -221,13 +236,13 @@ let switch_out t =
          Array.iter (fun (a, _) -> Hashtbl.replace touched a ()) entries));
   Hashtbl.iter (fun a () -> Pmem.clwb t.pm a) touched;
   Pmem.sfence t.pm;
-  (* 2: the log is now dead weight; free every sealed block.  The head
-     switch persists before old blocks are recycled, and any records left
-     in the tail block replay values that are already durable — harmless
-     either way. *)
-  ignore
-    (Log_arena.drop_prefix t.arena
-       ~keep_from:(Log_arena.current_block t.arena));
+  (* 2: the log is now dead weight and must be durably invalidated — not
+     just trimmed.  Records left alive in the tail block are a time bomb:
+     once another mechanism owns the pool and mutates the same cells, any
+     later scan from the head slot would replay the stale speculative
+     values over the new owner's committed data.  [reset] persists an
+     end-of-log sentinel before recycling the other blocks. *)
+  Log_arena.reset t.arena;
   Hashtbl.length touched
 
 let create ?(head_slot = Slots.spec_head) ?tsc heap params =
@@ -241,6 +256,7 @@ let create ?(head_slot = Slots.spec_head) ?tsc heap params =
       tsc = (match tsc with Some c -> c | None -> Tsc.create ());
       ws = Write_set.create ();
       frees = [];
+      allocs = [];
       arena =
         Log_arena.create heap ~head_slot
           ~block_bytes:params.block_bytes;

@@ -56,10 +56,13 @@ val snapshot_region : t -> Addr.t -> int -> unit
 
 val switch_out : t -> int
 (** Leave speculative logging (Section 4.3.1): selectively flush every
-    cell the live log covers, fence once, and reset the log — after this
-    another crash-consistency mechanism (e.g. the PMDK backend) can run on
-    the same pool.  Returns the number of cells persisted.  Must be called
-    between transactions. *)
+    cell the live log covers, fence once, and durably invalidate the log
+    ({!Specpmt_txn.Log_arena.reset}) — after this another
+    crash-consistency mechanism (e.g. the PMDK backend) can run on the
+    same pool, and no later replay of the speculative log can clobber
+    that mechanism's committed data with the stale speculative values.
+    Returns the number of cells persisted.  Must be called between
+    transactions. *)
 
 val reclaim_now : t -> Log_arena.compact_stats
 (** Explicit reclamation trigger (the paper's API-triggered mode). *)

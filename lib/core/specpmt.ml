@@ -23,6 +23,7 @@
     - {!Hw_schemes}: simulated-hardware schemes (EDE, HOOP, SpecHPMT...),
     - {!Workload}: the STAMP port,
     - {!Run}: the measurement harness behind all figures,
+    - {!Crashmc}: the deterministic crash-state exploration engine,
     - {!Obs}: metrics, phase attribution, tracing and the JSON reports. *)
 
 module Pmem = Specpmt_pmem.Pmem
@@ -42,6 +43,7 @@ module Epoch_protocol = Specpmt_hwtxn.Epoch_protocol
 module Hwconfig = Specpmt_hwsim.Hwconfig
 module Workload = Specpmt_stamp.Workload
 module Profile = Specpmt_stamp.Profile
+module Crashmc = Specpmt_crashmc.Crashmc
 module Obs = Specpmt_obs
 module Json = Specpmt_obs.Json
 

@@ -1,0 +1,597 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_txn
+open Specpmt_backends
+module Hw = Specpmt_hwtxn
+module Obs = Specpmt_obs
+module Json = Specpmt_obs.Json
+
+(* ------------------------------------------------------------------ *)
+(* Persist choices                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type choice =
+  | Persist_all
+  | Persist_none
+  | Keep_line of int
+  | Drop_line of int
+  | Keep_word of int
+  | Drop_word of int
+
+let choice_to_string = function
+  | Persist_all -> "all"
+  | Persist_none -> "none"
+  | Keep_line k -> Printf.sprintf "keepline:%d" k
+  | Drop_line k -> Printf.sprintf "dropline:%d" k
+  | Keep_word k -> Printf.sprintf "keepword:%d" k
+  | Drop_word k -> Printf.sprintf "dropword:%d" k
+
+let choice_of_string s =
+  let indexed prefix mk =
+    let p = String.length prefix in
+    match int_of_string_opt (String.sub s p (String.length s - p)) with
+    | Some k when k >= 0 -> Ok (mk k)
+    | _ -> Error (Printf.sprintf "bad index in crash choice %S" s)
+  in
+  let has p =
+    String.length s > String.length p && String.sub s 0 (String.length p) = p
+  in
+  match s with
+  | "all" -> Ok Persist_all
+  | "none" -> Ok Persist_none
+  | _ when has "keepline:" -> indexed "keepline:" (fun k -> Keep_line k)
+  | _ when has "dropline:" -> indexed "dropline:" (fun k -> Drop_line k)
+  | _ when has "keepword:" -> indexed "keepword:" (fun k -> Keep_word k)
+  | _ when has "dropword:" -> indexed "dropword:" (fun k -> Drop_word k)
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown crash choice %S \
+            (all|none|keepline:K|dropline:K|keepword:K|dropword:K)"
+           s)
+
+type policy = [ `All | `None | `Lines | `Words ]
+
+let default_policies : policy list = [ `All; `None; `Lines ]
+
+let policies_of_string s =
+  let parse = function
+    | "all" -> Ok `All
+    | "none" -> Ok `None
+    | "lines" -> Ok `Lines
+    | "words" -> Ok `Words
+    | p -> Error (Printf.sprintf "unknown policy %S (all|none|lines|words)" p)
+  in
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | p :: rest -> (
+        match parse p with
+        | Ok pol -> collect (pol :: acc) rest
+        | Error _ as e -> e)
+  in
+  match
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  with
+  | [] -> Error "empty policy list"
+  | ps -> collect [] ps
+
+(* The oracle handed to [Pmem.crash_with].  Built while the dirty set is
+   still inspectable (before the crash is taken); an out-of-range index
+   has no line/word to name and degrades to all-drain. *)
+let persist_pred pm = function
+  | Persist_all -> fun _ -> true
+  | Persist_none -> fun _ -> false
+  | Keep_line k -> (
+      match List.nth_opt (Pmem.dirty_lines pm) k with
+      | Some li -> fun a -> Addr.line_index a = li
+      | None -> fun _ -> true)
+  | Drop_line k -> (
+      match List.nth_opt (Pmem.dirty_lines pm) k with
+      | Some li -> fun a -> Addr.line_index a <> li
+      | None -> fun _ -> true)
+  | Keep_word k -> (
+      match List.nth_opt (Pmem.dirty_words pm) k with
+      | Some w -> fun a -> a = w
+      | None -> fun _ -> true)
+  | Drop_word k -> (
+      match List.nth_opt (Pmem.dirty_words pm) k with
+      | Some w -> fun a -> a <> w
+      | None -> fun _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Targets                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type instance = {
+  run_tx : int -> (Ctx.ctx -> unit) -> unit;
+      (* the argument is the transaction's index in the workload — the
+         multi-thread target uses it to spread transactions round-robin
+         over its threads *)
+  recover : unit -> unit;
+}
+
+type target = { t_name : string; make : Heap.t -> total_txs:int -> instance }
+
+let of_backend (b : Ctx.backend) =
+  { run_tx = (fun _ f -> b.Ctx.run_tx f); recover = b.Ctx.recover }
+
+(* Small log geometry for the SpecPMT variants: with the default 4 KiB
+   blocks and 1 MiB threshold, a workload small enough to explore
+   exhaustively would never chain a block or compact — precisely the
+   code recovery depends on.  256 bytes is the arena's minimum block. *)
+let mc_params ~data_persist =
+  { Spec_soft.data_persist; block_bytes = 256; reclaim_threshold = 512 }
+
+let sw_target k =
+  match k with
+  | Registry.Spec ->
+      {
+        t_name = Registry.name k;
+        make =
+          (fun heap ~total_txs:_ ->
+            of_backend (fst (Spec_soft.create heap (mc_params ~data_persist:false))));
+      }
+  | Registry.Spec_dp ->
+      {
+        t_name = Registry.name k;
+        make =
+          (fun heap ~total_txs:_ ->
+            of_backend (fst (Spec_soft.create heap (mc_params ~data_persist:true))));
+      }
+  | _ ->
+      {
+        t_name = Registry.name k;
+        make = (fun heap ~total_txs:_ -> of_backend (Registry.create heap k));
+      }
+
+let mt_target =
+  {
+    t_name = "SpecSPMT-MT";
+    make =
+      (fun heap ~total_txs:_ ->
+        let mt =
+          Spec_mt.create ~params:(mc_params ~data_persist:false) heap ~threads:3
+        in
+        {
+          run_tx =
+            (fun i f -> (Spec_mt.thread mt (i mod Spec_mt.threads mt)).Ctx.run_tx f);
+          recover = (fun () -> Spec_mt.recover mt);
+        });
+  }
+
+(* Mechanism switch-out mid-workload (Section 4.3.1): the first half of
+   the transactions run under speculative logging, then [switch_out]
+   persists the covered data and invalidates the log, and the rest run
+   under PMDK-style undo on the same pool.  Recovery must work at every
+   crash point of all three phases. *)
+let switch_target =
+  {
+    t_name = "SpecSPMT+switch";
+    make =
+      (fun heap ~total_txs ->
+        let spec_b, spec_rt =
+          Spec_soft.create heap (mc_params ~data_persist:false)
+        in
+        let pmdk = Registry.create heap Registry.Pmdk in
+        let switch_at = max 1 (total_txs / 2) in
+        let switched = ref false in
+        {
+          run_tx =
+            (fun i f ->
+              if i < switch_at then spec_b.Ctx.run_tx f
+              else begin
+                if not !switched then begin
+                  switched := true;
+                  ignore (Spec_soft.switch_out spec_rt)
+                end;
+                pmdk.Ctx.run_tx f
+              end);
+          recover =
+            (fun () ->
+              (* the speculative replay is a no-op once the log has been
+                 invalidated; before (or during) the switch the undo log
+                 is empty and PMDK's rollback is the no-op instead *)
+              spec_b.Ctx.recover ();
+              pmdk.Ctx.recover ());
+        });
+  }
+
+let hw_target k =
+  {
+    t_name = Hw.Hw_registry.name k;
+    make = (fun heap ~total_txs:_ -> of_backend (Hw.Hw_registry.create heap k));
+  }
+
+(* Recoverability is a property of the built backend, so probe each kind
+   once on a scratch pool rather than duplicating the registry's table. *)
+let recoverable_sw =
+  lazy
+    (List.filter
+       (fun k ->
+         let heap = Heap.create (Pmem.create Config.small) in
+         (Registry.create heap k).Ctx.supports_recovery)
+       Registry.all)
+
+let recoverable_hw =
+  lazy
+    (List.filter
+       (fun k ->
+         let heap = Heap.create (Pmem.create Config.small) in
+         (Hw.Hw_registry.create heap k).Ctx.supports_recovery)
+       Hw.Hw_registry.all)
+
+let targets () =
+  List.map sw_target (Lazy.force recoverable_sw)
+  @ [ mt_target; switch_target ]
+  @ List.map hw_target (Lazy.force recoverable_hw)
+
+let target_names () = List.map (fun t -> t.t_name) (targets ())
+
+let target_of_name name =
+  List.find_opt
+    (fun t -> String.lowercase_ascii t.t_name = String.lowercase_ascii name)
+    (targets ())
+
+(* ------------------------------------------------------------------ *)
+(* Workload and reference model                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Transaction 0 adopts every cell (the snapshot of Section 4.3.2); the
+   rest are random writes.  Everything derives from [seed]. *)
+let gen_program ~cells ~txs ~max_writes ~seed =
+  let rand = Random.State.make [| 0xC4A5; seed |] in
+  List.init cells (fun i -> (i, 0))
+  :: List.init txs (fun _ ->
+         let n = 1 + Random.State.int rand max_writes in
+         List.init n (fun _ ->
+             (Random.State.int rand cells, 1 + Random.State.int rand 1_000_000)))
+
+(* [states.(k)] = the cell array after the first [k] transactions. *)
+let reference ~cells program =
+  let state = Array.make cells 0 in
+  let states = Array.make (List.length program + 1) [||] in
+  states.(0) <- Array.copy state;
+  List.iteri
+    (fun i tx ->
+      List.iter (fun (c, v) -> state.(c) <- v) tx;
+      states.(i + 1) <- Array.copy state)
+    program;
+  states
+
+let build tgt ~seed ~cells ~total_txs =
+  let pm = Pmem.create ~seed Config.small in
+  let heap = Heap.create pm in
+  let inst = tgt.make heap ~total_txs in
+  let base = Heap.alloc heap (cells * 8) in
+  (pm, inst, base)
+
+let run_workload pm inst ~base program ~fuse =
+  Pmem.set_fuse pm fuse;
+  let committed = ref 0 in
+  let crashed =
+    try
+      List.iteri
+        (fun i tx ->
+          inst.run_tx i (fun ctx ->
+              List.iter (fun (c, v) -> ctx.Ctx.write (base + (c * 8)) v) tx);
+          incr committed)
+        program;
+      Pmem.set_fuse pm None;
+      false
+    with Pmem.Crash -> true
+  in
+  (!committed, crashed)
+
+(* Atomic durability: the recovered cells must match the reference after
+   [committed] or [committed + 1] transactions (the +1 covers a crash
+   after the commit point but before control returned). *)
+let audit states committed got =
+  got = states.(committed)
+  || (committed + 1 < Array.length states && got = states.(committed + 1))
+
+(* ------------------------------------------------------------------ *)
+(* One case                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type case = {
+  c_committed : int;
+  c_dirty_lines : int;
+  c_dirty_words : int;
+  c_ok : bool;
+  c_error : string option;
+  c_got : int array;
+}
+
+(* Execute the workload on a fresh device with the fuse at [fuse], take
+   the crash under [choice], recover, audit.  [None] when the fuse
+   outlived the workload. *)
+let run_case tgt ~seed ~cells ~program ~states ~fuse ~choice =
+  Obs.Trace.clear ();
+  let pm, inst, base =
+    build tgt ~seed ~cells ~total_txs:(List.length program)
+  in
+  let committed, crashed = run_workload pm inst ~base program ~fuse:(Some fuse) in
+  if not crashed then None
+  else begin
+    let c_dirty_lines = List.length (Pmem.dirty_lines pm) in
+    let c_dirty_words = List.length (Pmem.dirty_words pm) in
+    let persist = persist_pred pm choice in
+    Pmem.crash_with pm ~persist;
+    match inst.recover () with
+    | () ->
+        let got =
+          Array.init cells (fun i -> Pmem.peek_volatile_int pm (base + (i * 8)))
+        in
+        Some
+          {
+            c_committed = committed;
+            c_dirty_lines;
+            c_dirty_words;
+            c_ok = audit states committed got;
+            c_error = None;
+            c_got = got;
+          }
+    | exception e ->
+        Some
+          {
+            c_committed = committed;
+            c_dirty_lines;
+            c_dirty_words;
+            c_ok = false;
+            c_error = Some (Printexc.to_string e);
+            c_got = [||];
+          }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type failure = {
+  fuse : int;
+  choice : choice;
+  committed : int;
+  error : string option;
+  expected : int array;
+  expected_next : int array option;
+  got : int array;
+  repro : string;
+  trace : string list;
+}
+
+type report = {
+  scheme : string;
+  seed : int;
+  cells : int;
+  txs : int;
+  max_writes : int;
+  budget : int;
+  total_events : int;
+  stride : int;
+  points : int;
+  cases : int;
+  passes : int;
+  failures : failure list;
+}
+
+(* Adversarial subsets are capped per point: the first lines/words of
+   the dirty set carry the structures under test (log metadata persists
+   before data in every scheme here), and the cap keeps the case count
+   proportional to the visited points rather than to the dirty-set
+   size. *)
+let cap_lines = 3
+let cap_words = 4
+
+let choices_for ~(policies : policy list) ~ndl ~ndw =
+  List.concat_map
+    (function
+      | `All -> [ Persist_all ]
+      | `None -> [ Persist_none ]
+      | `Lines ->
+          List.concat
+            (List.init (min ndl cap_lines) (fun k ->
+                 [ Drop_line k; Keep_line k ]))
+      | `Words ->
+          List.concat
+            (List.init (min ndw cap_words) (fun k ->
+                 [ Drop_word k; Keep_word k ])))
+    policies
+
+(* Expected cases per crash point, for the stride choice only. *)
+let est_cases (policies : policy list) =
+  1
+  + (if List.mem `None policies then 1 else 0)
+  + (if List.mem `Lines policies then 2 * cap_lines - 2 else 0)
+  + if List.mem `Words policies then 2 * cap_words - 2 else 0
+
+let get_target scheme =
+  match target_of_name scheme with
+  | Some t -> t
+  | None ->
+      Fmt.invalid_arg "crashmc: unknown or non-recoverable scheme %S (try: %s)"
+        scheme
+        (String.concat ", " (target_names ()))
+
+let mk_failure ~scheme ~seed ~cells ~txs ~max_writes ~states ~fuse ~choice
+    (r : case) =
+  {
+    fuse;
+    choice;
+    committed = r.c_committed;
+    error = r.c_error;
+    expected = states.(r.c_committed);
+    expected_next =
+      (if r.c_committed + 1 < Array.length states then
+         Some states.(r.c_committed + 1)
+       else None);
+    got = r.c_got;
+    repro =
+      Printf.sprintf
+        "specpmt_run explore --scheme '%s' --seed %d --cells %d --txs %d \
+         --max-writes %d --fuse %d --choice %s"
+        scheme seed cells txs max_writes fuse (choice_to_string choice);
+    trace =
+      List.map
+        (fun e -> Format.asprintf "%a" Obs.Trace.pp_event e)
+        (Obs.Trace.recent ());
+  }
+
+let explore ?(cells = 8) ?(txs = 6) ?(max_writes = 4) ?(budget = 2000)
+    ?(policies = default_policies) ~scheme ~seed () =
+  let tgt = get_target scheme in
+  Obs.Trace.set_capacity 64;
+  let program = gen_program ~cells ~txs ~max_writes ~seed in
+  let states = reference ~cells program in
+  (* dry run: measure the crash-point space, check the workload itself *)
+  let total_events =
+    let pm, inst, base =
+      build tgt ~seed ~cells ~total_txs:(List.length program)
+    in
+    let e0 = Pmem.events pm in
+    let committed, crashed = run_workload pm inst ~base program ~fuse:None in
+    if crashed || committed <> List.length program then
+      Fmt.invalid_arg "crashmc: uninterrupted %s workload did not complete"
+        scheme;
+    let final =
+      Array.init cells (fun i -> Pmem.peek_volatile_int pm (base + (i * 8)))
+    in
+    if final <> states.(committed) then
+      Fmt.invalid_arg "crashmc: uninterrupted %s workload diverges from the \
+                       reference model"
+        scheme;
+    Pmem.events pm - e0
+  in
+  let stride = max 1 (total_events * est_cases policies / max 1 budget) in
+  let points = ref 0 and cases = ref 0 and passes = ref 0 in
+  let failures = ref [] in
+  let fuse = ref 1 in
+  while !fuse <= total_events && !cases < budget do
+    incr points;
+    let record choice (r : case) =
+      incr cases;
+      if r.c_ok then incr passes
+      else
+        failures :=
+          mk_failure ~scheme ~seed ~cells ~txs ~max_writes ~states ~fuse:!fuse
+            ~choice r
+          :: !failures
+    in
+    (* all-drain first: it both audits the fully-persisted crash state
+       and sizes the dirty set for the adversarial families *)
+    (match
+       run_case tgt ~seed ~cells ~program ~states ~fuse:!fuse
+         ~choice:Persist_all
+     with
+    | None -> () (* unreachable: fuse <= total_events always crashes *)
+    | Some probe ->
+        record Persist_all probe;
+        let rest =
+          choices_for ~policies ~ndl:probe.c_dirty_lines
+            ~ndw:probe.c_dirty_words
+          |> List.filter (fun c -> c <> Persist_all)
+        in
+        List.iter
+          (fun choice ->
+            if !cases < budget then
+              match
+                run_case tgt ~seed ~cells ~program ~states ~fuse:!fuse ~choice
+              with
+              | None -> ()
+              | Some r -> record choice r)
+          rest);
+    fuse := !fuse + stride
+  done;
+  {
+    scheme = tgt.t_name;
+    seed;
+    cells;
+    txs;
+    max_writes;
+    budget;
+    total_events;
+    stride;
+    points = !points;
+    cases = !cases;
+    passes = !passes;
+    failures = List.rev !failures;
+  }
+
+type replay_result =
+  | Run_completed
+  | Audit_ok of int
+  | Audit_failed of failure
+
+let replay ?(cells = 8) ?(txs = 6) ?(max_writes = 4) ~scheme ~seed ~fuse
+    ~choice () =
+  let tgt = get_target scheme in
+  Obs.Trace.set_capacity 64;
+  let program = gen_program ~cells ~txs ~max_writes ~seed in
+  let states = reference ~cells program in
+  match run_case tgt ~seed ~cells ~program ~states ~fuse ~choice with
+  | None -> Run_completed
+  | Some r when r.c_ok -> Audit_ok r.c_committed
+  | Some r ->
+      Audit_failed
+        (mk_failure ~scheme:tgt.t_name ~seed ~cells ~txs ~max_writes ~states
+           ~fuse ~choice r)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_cells ppf a = Fmt.pf ppf "[%a]" Fmt.(array ~sep:(any ";") int) a
+
+let pp_failure ppf f =
+  Fmt.pf ppf "@[<v>fuse %d, choice %s: %d committed;@ " f.fuse
+    (choice_to_string f.choice) f.committed;
+  (match f.error with
+  | Some e -> Fmt.pf ppf "recovery raised %s@ " e
+  | None ->
+      Fmt.pf ppf "recovered %a@ expected  %a" pp_cells f.got pp_cells
+        f.expected;
+      Option.iter (fun n -> Fmt.pf ppf "@ or        %a" pp_cells n)
+        f.expected_next);
+  Fmt.pf ppf "@ repro: %s@]" f.repro
+
+let cells_json a = Json.List (Array.to_list (Array.map (fun v -> Json.Int v) a))
+
+let failure_to_json f =
+  Json.Obj
+    [
+      ("fuse", Json.Int f.fuse);
+      ("choice", Json.Str (choice_to_string f.choice));
+      ("committed", Json.Int f.committed);
+      ( "error",
+        match f.error with None -> Json.Null | Some e -> Json.Str e );
+      ("expected", cells_json f.expected);
+      ( "expected_next",
+        match f.expected_next with None -> Json.Null | Some a -> cells_json a
+      );
+      ("got", cells_json f.got);
+      ("repro", Json.Str f.repro);
+      ("trace", Json.List (List.map (fun s -> Json.Str s) f.trace));
+    ]
+
+(* Bumped on any incompatible change to the report layout. *)
+let schema_version = 1
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("generator", Json.Str "specpmt-crashmc");
+      ("scheme", Json.Str r.scheme);
+      ("seed", Json.Int r.seed);
+      ("cells", Json.Int r.cells);
+      ("txs", Json.Int r.txs);
+      ("max_writes", Json.Int r.max_writes);
+      ("budget", Json.Int r.budget);
+      ("total_events", Json.Int r.total_events);
+      ("stride", Json.Int r.stride);
+      ("points", Json.Int r.points);
+      ("cases", Json.Int r.cases);
+      ("passes", Json.Int r.passes);
+      ("failures", Json.List (List.map failure_to_json r.failures));
+    ]

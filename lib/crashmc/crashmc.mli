@@ -1,0 +1,144 @@
+(** Deterministic crash-state exploration ("crashmc").
+
+    The randomized crash harnesses ({!Specpmt_pmem.Pmem.crash}, the fuzz
+    command, the qcheck property tests) sample crash states with a coin
+    flip per dirty word — good at volume, bad at reproduction and at
+    reaching the adversarial corners (exactly one line persisted, exactly
+    one dropped).  This engine explores the crash space deterministically
+    instead:
+
+    - a fixed random transactional program over an array of 8-byte cells
+      is derived from [seed] (first transaction adopts the cells, as in
+      Section 4.3.2);
+    - a {e dry run} measures the workload's crash-point space: the count
+      of fuse-visible memory events ({!Specpmt_pmem.Pmem.events});
+    - crash points are visited at a deterministic stride chosen so that
+      the case count lands near [budget] (stride 1 = exhaustive);
+    - at each point the run is repeated per {e persist choice}: an
+      oracle handed to {!Specpmt_pmem.Pmem.crash_with} that decides,
+      per dirty word, whether it drains to the media — all of them, none,
+      or per-line / per-word adversarial subsets of the dirty set;
+    - after each (crash point x choice) case the scheme's [recover] runs
+      and the cells are audited against the pure reference model: the
+      recovered state must equal the state after [committed] or
+      [committed + 1] transactions (atomic durability).
+
+    Every case is replayable from its one-line reproducer: same scheme,
+    seed, fuse and choice encoding rebuild the identical crash state.
+    Failures carry the recent {!Specpmt_obs.Trace} events.
+
+    Explorable schemes are every recoverable registered backend
+    (software and simulated hardware), plus two composite targets that
+    only exist here: ["SpecSPMT-MT"], the 3-thread runtime with
+    per-thread logs recovered in global timestamp order (Section 5.2.2),
+    and ["SpecSPMT+switch"], which switches out of speculative logging to
+    PMDK-style undo mid-workload (Section 4.3.1).  The SpecPMT variants
+    run with a deliberately small log geometry (256-byte blocks, 512-byte
+    reclamation threshold) so block chaining and log compaction fall
+    inside the explored window. *)
+
+(** {1 Persist choices} *)
+
+(** How the crash oracle treats the dirty words at the crash point.
+    Line and word indices refer to the ascending dirty-set enumeration of
+    {!Specpmt_pmem.Pmem.dirty_lines} / [dirty_words]; an out-of-range
+    index degrades to [Persist_all]. *)
+type choice =
+  | Persist_all  (** every dirty word drains (encoding ["all"]) *)
+  | Persist_none  (** nothing drains (["none"]) *)
+  | Keep_line of int  (** only the [k]-th dirty line drains (["keepline:K"]) *)
+  | Drop_line of int  (** all but the [k]-th dirty line (["dropline:K"]) *)
+  | Keep_word of int  (** only the [k]-th dirty word (["keepword:K"]) *)
+  | Drop_word of int  (** all but the [k]-th dirty word (["dropword:K"]) *)
+
+val choice_to_string : choice -> string
+val choice_of_string : string -> (choice, string) result
+
+(** Which choice families to enumerate at each crash point.  The
+    all-drain case always runs first regardless — it doubles as the probe
+    that sizes the dirty set for the line/word families. *)
+type policy = [ `All | `None | `Lines | `Words ]
+
+val default_policies : policy list
+(** [[`All; `None; `Lines]] — words are off by default (8x the cases of
+    lines for mostly-redundant coverage). *)
+
+val policies_of_string : string -> (policy list, string) result
+(** Comma-separated subset of ["all,none,lines,words"]. *)
+
+(** {1 Targets} *)
+
+val target_names : unit -> string list
+(** Explorable scheme names, in registry order then the composites. *)
+
+(** {1 Results} *)
+
+type failure = {
+  fuse : int;  (** crash point (memory events into the workload) *)
+  choice : choice;
+  committed : int;  (** transactions whose [run_tx] had returned *)
+  error : string option;  (** exception escaping [recover], if any *)
+  expected : int array;  (** reference cells after [committed] txs *)
+  expected_next : int array option;  (** after [committed + 1], if any *)
+  got : int array;  (** recovered cells ([[||]] when recovery raised) *)
+  repro : string;  (** one-line [specpmt_run explore] reproducer *)
+  trace : string list;  (** recent {!Specpmt_obs.Trace} events *)
+}
+
+type report = {
+  scheme : string;
+  seed : int;
+  cells : int;
+  txs : int;  (** random transactions (the adoption tx is extra) *)
+  max_writes : int;
+  budget : int;
+  total_events : int;  (** crash-point space measured by the dry run *)
+  stride : int;  (** distance between visited crash points *)
+  points : int;  (** crash points visited *)
+  cases : int;  (** (point x choice) cases executed *)
+  passes : int;
+  failures : failure list;  (** exploration order *)
+}
+
+val explore :
+  ?cells:int ->
+  ?txs:int ->
+  ?max_writes:int ->
+  ?budget:int ->
+  ?policies:policy list ->
+  scheme:string ->
+  seed:int ->
+  unit ->
+  report
+(** Run the exploration.  Deterministic: identical arguments produce an
+    identical report (same explored set, same verdicts), which is what
+    makes a clean run a regression statement.  Raises [Invalid_argument]
+    on a scheme that is unknown or cannot recover.  Defaults:
+    [cells = 8], [txs = 6], [max_writes = 4], [budget = 2000]. *)
+
+type replay_result =
+  | Run_completed  (** the fuse outlived the workload; nothing to audit *)
+  | Audit_ok of int  (** crashed and recovered cleanly ([committed]) *)
+  | Audit_failed of failure
+
+val replay :
+  ?cells:int ->
+  ?txs:int ->
+  ?max_writes:int ->
+  scheme:string ->
+  seed:int ->
+  fuse:int ->
+  choice:choice ->
+  unit ->
+  replay_result
+(** Re-execute one (crash point x choice) case — the reproducer path.
+    The workload parameters must match the exploration that produced the
+    reproducer. *)
+
+(** {1 Rendering} *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+val report_to_json : report -> Specpmt_obs.Json.t
+(** Schema-stable JSON ([generator = "specpmt-crashmc"]); failures embed
+    their reproducer line and trace. *)

@@ -27,6 +27,7 @@ type t = {
   mutable last_completion : float; (* WPQ is a serial server *)
   mutable last_persist_line : int; (* for the sequential-write fast path *)
   mutable fuse : int option;
+  mutable events : int; (* monotonic count of fuse-visible memory events *)
   mutable metered : bool;
   mutable crashed : bool;
   (* optional operation trace: a bounded ring of the most recent memory
@@ -47,6 +48,7 @@ let create ?(seed = 42) cfg =
     last_completion = 0.0;
     last_persist_line = -10;
     fuse = None;
+    events = 0;
     metered = true;
     crashed = false;
     trace = None;
@@ -59,6 +61,7 @@ let mem_size t = t.cfg.Config.mem_size
 let crashed_once t = t.crashed
 let set_fuse t n = t.fuse <- n
 let fuse t = t.fuse
+let events t = t.events
 
 let set_trace t n =
   if n <= 0 then begin
@@ -86,6 +89,7 @@ let recent_ops t =
       List.init count (fun i -> ring.((t.trace_pos - count + i) mod n))
 
 let burn_fuse t =
+  t.events <- t.events + 1;
   match t.fuse with
   | None -> ()
   | Some n -> if n <= 1 then raise Crash else t.fuse <- Some (n - 1)
@@ -317,6 +321,43 @@ let flush_range t addr len =
     done
   end
 
+let dirty_lines t =
+  Hashtbl.fold
+    (fun li line acc -> if line.dirty then li :: acc else acc)
+    t.cache []
+  |> List.sort compare
+
+let dirty_words t =
+  List.concat_map
+    (fun li ->
+      List.init (Addr.line_size / 8) (fun w ->
+          (li * Addr.line_size) + (w * 8)))
+    (dirty_lines t)
+
+(* Oracle-driven crash: [persist] decides, per dirty 8-byte word in
+   ascending address order, whether the in-flight store reaches the media.
+   Under eADR the caches sit inside the persistence domain, so everything
+   drains regardless of the oracle. *)
+let crash_with t ~persist =
+  t.crashed <- true;
+  List.iter
+    (fun li ->
+      match Hashtbl.find_opt t.cache li with
+      | None -> ()
+      | Some line ->
+          (* each 8-byte word may have drained independently (stores are
+             word-atomic with respect to persistence) *)
+          for w = 0 to (Addr.line_size / 8) - 1 do
+            let addr = (li * Addr.line_size) + (w * 8) in
+            if t.cfg.Config.eadr || persist addr then
+              Bytes.blit line.data (w * 8) t.media addr 8
+          done)
+    (dirty_lines t);
+  Hashtbl.reset t.cache;
+  Queue.clear t.order;
+  t.pending <- [];
+  t.fuse <- None
+
 let crash t =
   t.crashed <- true;
   (* under eADR the caches are inside the persistence domain: every dirty
@@ -327,8 +368,6 @@ let crash t =
   Hashtbl.iter
     (fun li line ->
       if line.dirty then
-        (* each 8-byte word may have drained independently (stores are
-           word-atomic with respect to persistence) *)
         for w = 0 to (Addr.line_size / 8) - 1 do
           if Random.State.float t.rng 1.0 < p then
             Bytes.blit line.data (w * 8) t.media

@@ -83,10 +83,31 @@ val set_fuse : t -> int option -> unit
 val fuse : t -> int option
 (** Remaining events before the fuse burns ([None] = disarmed). *)
 
+val events : t -> int
+(** Monotonic count of fuse-visible memory events since creation — the
+    index space {!set_fuse} counts in.  Lets a crash-exploration driver
+    measure a workload once and then target any event as a crash point. *)
+
 val crash : t -> unit
 (** Take the crash: every dirty cached word independently reaches the media
     with probability [crash_word_persist_prob]; then the cache, queue and
     fuse are cleared.  Subsequent loads observe only the media. *)
+
+val crash_with : t -> persist:(Addr.t -> bool) -> unit
+(** Oracle-driven crash: like {!crash}, but the persistence of each dirty
+    8-byte word is decided by [persist] instead of a coin flip.  The
+    oracle is consulted once per dirty word, in ascending address order —
+    deterministic by construction, which is what makes crash states
+    enumerable and replayable (see [Specpmt_crashmc]).  Under eADR every
+    dirty word drains regardless of the oracle. *)
+
+val dirty_lines : t -> int list
+(** Indices of the cache lines holding unpersisted stores, ascending.
+    The [k]-th element is what a [line:k] crash choice refers to. *)
+
+val dirty_words : t -> Addr.t list
+(** Word addresses covered by the dirty lines, ascending — the decision
+    domain of {!crash_with}. *)
 
 val crashed_once : t -> bool
 (** Whether {!crash} has ever been taken on this device. *)

@@ -38,6 +38,9 @@ type t = {
   head_slot : int;
   block_bytes : int;
   mutable blocks : Addr.t list; (* newest first *)
+  mutable n_blocks : int; (* cached [List.length blocks] — [footprint]
+                             runs on every commit *)
+  mutable head_block : Addr.t; (* cached chain head (oldest block) *)
   mutable cur_block : Addr.t;
   mutable pos : Addr.t; (* next append address *)
   (* open-record state *)
@@ -66,8 +69,8 @@ let block_end t b = b + t.block_bytes
 let payload b = b + 8
 let has_open_record t = t.rec_meta >= 0
 let entry_words t = t.rec_entries
-let footprint t = List.length t.blocks * t.block_bytes
-let block_count t = List.length t.blocks
+let footprint t = t.n_blocks * t.block_bytes
+let block_count t = t.n_blocks
 
 let alloc_block t =
   let b = Heap.alloc_log t.heap t.block_bytes in
@@ -84,6 +87,8 @@ let mk heap ~head_slot ~block_bytes b =
     head_slot;
     block_bytes;
     blocks = [ b ];
+    n_blocks = 1;
+    head_block = b;
     cur_block = b;
     pos = payload b;
     rec_meta = -1;
@@ -127,6 +132,7 @@ let chain_block t =
   Pmem.store_int t.pm t.cur_block nb;
   t.pending_spans <- (t.cur_block, t.cur_block + 8) :: t.pending_spans;
   t.blocks <- nb :: t.blocks;
+  t.n_blocks <- t.n_blocks + 1;
   t.cur_block <- nb;
   t.pos <- payload nb
 
@@ -350,6 +356,7 @@ let attach heap ~head_slot ~block_bytes =
     done;
     let t = mk heap ~head_slot ~block_bytes head in
     t.blocks <- !blocks;
+    t.n_blocks <- List.length !blocks;
     t.cur_block <- cur_block;
     t.pos <- pos;
     (* Make sure torn garbage right at the append point cannot be mistaken
@@ -441,38 +448,96 @@ let drop_prefix t ~keep_from =
     publish_head t keep_from;
     List.iter (fun b -> Heap.free t.heap b) dropped;
     t.blocks <- kept;
+    t.n_blocks <- List.length kept;
+    t.head_block <- keep_from;
     List.length dropped
   end
 
+(* Durably empty the log: persist an end-of-log sentinel over the head
+   block's payload, sever its successor pointer, and only then recycle
+   the other blocks.  The two invalidation stores must NOT be combined
+   into one flush: a crash can persist any per-word subset, and the
+   subset {next = 0, first size word intact} leaves a scannable record
+   PREFIX behind a severed chain — replaying that prefix rolls cells
+   already covered by fresher (durable, possibly truncated) records back
+   to stale values.  Both the full log and the empty log replay to the
+   current durable data (the caller persisted everything the log covers
+   before calling), so the sentinel is made the single 8-byte commit
+   point of the transition: persist it alone first, then sever the
+   chain — a scan that still sees the old successor pointer stops at the
+   sentinel before ever following it. *)
+let reset t =
+  assert (not (has_open_record t));
+  let head = t.head_block in
+  Pmem.store_int t.pm (payload head) 0;
+  Pmem.clwb t.pm (payload head);
+  Pmem.sfence t.pm;
+  (* the chain pointer must be durably dead before appends refill the
+     head block: a scan past a refilled block would otherwise follow it
+     into recycled successors whose old records still checksum *)
+  Pmem.store_int t.pm head 0;
+  Pmem.clwb t.pm head;
+  Pmem.sfence t.pm;
+  List.iter (fun b -> if b <> head then Heap.free t.heap b) t.blocks;
+  t.blocks <- [ head ];
+  t.n_blocks <- 1;
+  t.cur_block <- head;
+  t.pos <- payload head;
+  t.pending_spans <- [];
+  Specpmt_obs.Trace.emit "arena.reset" ~a:head
+
 let compact t =
   assert (not (has_open_record t));
-  let freshest : (Addr.t, int) Hashtbl.t = Hashtbl.create 256 in
-  let records = ref 0 and scanned = ref 0 and max_ts = ref 0 in
-  let head = List.nth t.blocks (List.length t.blocks - 1) in
+  (* freshest surviving (value, commit timestamp) per datum *)
+  let freshest : (Addr.t, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let records = ref 0 and scanned = ref 0 in
   let _, _, _ =
-    scan_prefix t.pm ~block_bytes:t.block_bytes ~head ~f:(fun ~ts entries ->
+    scan_prefix t.pm ~block_bytes:t.block_bytes ~head:t.head_block
+      ~f:(fun ~ts entries ->
         incr records;
-        if ts > !max_ts then max_ts := ts;
         Array.iter
           (fun (tgt, v) ->
             incr scanned;
-            Hashtbl.replace freshest tgt v)
+            Hashtbl.replace freshest tgt (v, ts))
           entries)
   in
   let live = Hashtbl.length freshest in
   let old_blocks = t.blocks in
-  (* build the replacement chain: one compacted record stamped with the
-     newest contributing timestamp *)
+  (* Build the replacement chain.  Each entry must keep the timestamp of
+     the record it came from: collapsing everything into one record
+     stamped with the newest contributing timestamp would reorder entries
+     against other logs replayed in global timestamp order (Section
+     5.2.2) — thread A's stale x@ts1, restamped ts3, would replay after
+     thread B's fresher x@ts2.  So the compacted output is one record per
+     contributing timestamp, committed in ascending timestamp order (the
+     scan order of the new chain then agrees with the timestamp order,
+     as required of any single log). *)
+  let by_ts : (int, (Addr.t * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun tgt (v, ts) ->
+      match Hashtbl.find_opt by_ts ts with
+      | Some l -> l := (tgt, v) :: !l
+      | None -> Hashtbl.add by_ts ts (ref [ (tgt, v) ]))
+    freshest;
+  let timestamps =
+    List.sort compare (Hashtbl.fold (fun ts _ acc -> ts :: acc) by_ts [])
+  in
   let b0 = Heap.alloc_log t.heap t.block_bytes in
   Pmem.store_int t.pm b0 0;
   Pmem.store_int t.pm (payload b0) 0;
   let t2 = mk t.heap ~head_slot:t.head_slot ~block_bytes:t.block_bytes b0 in
   if live > 0 then begin
-    begin_record t2;
-    Hashtbl.iter
-      (fun tgt v -> ignore (add_entry t2 ~target:tgt ~value:v))
-      freshest;
-    commit_record t2 ~timestamp:!max_ts (* fence #1 *)
+    List.iter
+      (fun ts ->
+        begin_record t2;
+        List.iter
+          (fun (tgt, v) -> ignore (add_entry t2 ~target:tgt ~value:v))
+          !(Hashtbl.find by_ts ts);
+        (* flushes are persistent on WPQ acceptance; one fence after the
+           last record covers the whole new chain *)
+        commit_record t2 ~timestamp:ts ~fence:false)
+      timestamps;
+    Pmem.sfence t.pm (* fence #1 *)
   end
   else begin
     Pmem.flush_range t.pm b0 16;
@@ -484,6 +549,8 @@ let compact t =
   (* only now is the old chain dead; recycle it *)
   List.iter (fun b -> Heap.free t.heap b) old_blocks;
   t.blocks <- t2.blocks;
+  t.n_blocks <- t2.n_blocks;
+  t.head_block <- t2.head_block;
   t.cur_block <- t2.cur_block;
   t.pos <- t2.pos;
   t.pending_spans <- t2.pending_spans;
@@ -493,7 +560,7 @@ let compact t =
       entries_scanned = !scanned;
       entries_live = live;
       blocks_freed = List.length old_blocks;
-      blocks_allocated = List.length t2.blocks;
+      blocks_allocated = t2.n_blocks;
     }
   in
   let open Specpmt_obs in

@@ -99,9 +99,21 @@ type compact_stats = {
 
 val compact : t -> compact_stats
 (** Reclaim stale records: copy the freshest entry of every datum into new
-    blocks (one compacted record stamped with the newest contributing
-    timestamp), atomically switch the head pointer, free old blocks.  Must
-    not be called while a record is open. *)
+    blocks, atomically switch the head pointer, free old blocks.  Each
+    surviving entry keeps the timestamp of the record it came from — the
+    compacted output is one record per contributing timestamp, in
+    ascending order — so replaying this log interleaved with others in
+    global timestamp order (Section 5.2.2) remains correct.  Must not be
+    called while a record is open. *)
+
+val reset : t -> unit
+(** Durably empty the log: persist an end-of-log sentinel at the head
+    block's payload, sever its chain pointer, and recycle every other
+    block.  After [reset] no scan from the head slot yields any record;
+    the arena keeps appending into the (now empty) head block.  Used when
+    the log's content has been persisted by other means and must not be
+    replayed again (mechanism switch-out, Section 4.3.1).  Must not be
+    called while a record is open. *)
 
 (** {1 Epoch support (hardware SpecPMT, Section 5.2)} *)
 

@@ -561,6 +561,82 @@ let durability_cases =
       ])
     recoverable
 
+(* regressions: directed reproducers for bugs the crash explorer found *)
+
+(* compaction must not restamp survivors with the newest timestamp: with
+   per-thread logs, recovery replays all records in global timestamp
+   order (Section 5.2.2), so a compacted record carrying max_ts would
+   replay thread 0's stale value over thread 1's fresher committed one *)
+let test_mt_compaction_preserves_replay_order () =
+  let pm = Pmem.create ~seed:91 Config.small in
+  let heap = Heap.create pm in
+  let mt =
+    Spec_mt.create
+      ~params:{ Spec_soft.default_params with block_bytes = 256 }
+      heap ~threads:2
+  in
+  let base = Heap.alloc heap 64 in
+  let t0 = Spec_mt.thread mt 0 and t1 = Spec_mt.thread mt 1 in
+  t0.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 1) (* ts 1 *);
+  t1.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 2) (* ts 2 *);
+  t0.Ctx.run_tx (fun ctx -> ctx.Ctx.write (base + 8) 3) (* ts 3 *);
+  ignore (Spec_soft.reclaim_now (Spec_mt.runtime mt 0));
+  (* nothing drained to the media: recovery rebuilds every cell from the
+     two logs, and only the cross-log replay order decides who wins *)
+  Pmem.crash_with pm ~persist:(fun _ -> false);
+  Spec_mt.recover mt;
+  Alcotest.(check int) "thread 1's fresher value wins" 2
+    (Pmem.peek_volatile_int pm base);
+  Alcotest.(check int) "thread 0's later cell intact" 3
+    (Pmem.peek_volatile_int pm (base + 8))
+
+(* switch-out must durably invalidate the whole speculative log: records
+   left valid in the tail block would be replayed by a later recovery and
+   clobber data committed by the replacement mechanism (Section 4.3.1) *)
+let test_switch_out_invalidates_log () =
+  let pm =
+    Pmem.create ~seed:92 { Config.small with crash_word_persist_prob = 0.0 }
+  in
+  let heap = Heap.create pm in
+  let backend, spec = Spec_soft.create heap Spec_soft.default_params in
+  let base = Heap.alloc heap 64 in
+  backend.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 11);
+  ignore (Spec_soft.switch_out spec);
+  let undo = Registry.create heap Registry.Pmdk in
+  undo.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 99);
+  Pmem.crash_with pm ~persist:(fun _ -> true);
+  backend.Ctx.recover ();
+  undo.Ctx.recover ();
+  Alcotest.(check int) "stale speculative record not replayed" 99
+    (Pmem.peek_volatile_int pm base)
+
+(* an aborted transaction's allocations must be compensated, or every
+   abort leaks heap blocks *)
+let test_abort_releases_allocations () =
+  let pm = Pmem.create ~seed:93 Config.small in
+  let heap = Heap.create pm in
+  let backend, _ = Spec_soft.create heap Spec_soft.default_params in
+  let base = Heap.alloc heap 8 in
+  let abort_once () =
+    try
+      backend.Ctx.run_tx (fun ctx ->
+          let a = ctx.Ctx.alloc 512 in
+          ctx.Ctx.write a 1;
+          ctx.Ctx.write base 7;
+          raise Ctx.Abort)
+    with Ctx.Abort -> ()
+  in
+  (* the first cycle pays the block's 8-byte header (live_bytes counts
+     freed payloads, not headers); from then on the footprint must be
+     flat — a leak grows it by a full block per abort *)
+  abort_once ();
+  let steady = Heap.live_bytes heap in
+  for _ = 1 to 5 do
+    abort_once ()
+  done;
+  Alcotest.(check int) "no leak across aborted transactions" steady
+    (Heap.live_bytes heap)
+
 let () =
   Alcotest.run "backends"
     [
@@ -593,5 +669,14 @@ let () =
             test_mechanism_switch;
           Alcotest.test_case "switch_out crash-atomic" `Slow
             test_switch_out_crash_atomic;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "compaction preserves replay order" `Quick
+            test_mt_compaction_preserves_replay_order;
+          Alcotest.test_case "switch_out invalidates log" `Quick
+            test_switch_out_invalidates_log;
+          Alcotest.test_case "abort releases allocations" `Quick
+            test_abort_releases_allocations;
         ] );
     ]

@@ -1,0 +1,95 @@
+(* The crash-state exploration engine, turned on itself: exhaustively
+   explore a small two-transaction workload for every recoverable scheme
+   and require a clean verdict, plus determinism of the whole report and
+   the reproducer round trip. *)
+
+open Specpmt_crashmc
+
+let small_explore ?policies scheme =
+  (* budget far above the exhaustive case count so stride = 1 *)
+  Crashmc.explore ?policies ~cells:4 ~txs:2 ~max_writes:2 ~budget:100_000
+    ~scheme ~seed:7 ()
+
+let pp_failures r =
+  String.concat "\n"
+    (List.map (Fmt.str "%a" Crashmc.pp_failure) r.Crashmc.failures)
+
+(* every scheme survives exhaustive exploration of the small workload *)
+let test_exhaustive_clean scheme () =
+  let r = small_explore scheme in
+  Alcotest.(check int)
+    (scheme ^ ": exhaustive (stride 1)")
+    1 r.Crashmc.stride;
+  Alcotest.(check int)
+    (scheme ^ ": every event was a crash point")
+    r.Crashmc.total_events r.Crashmc.points;
+  if r.Crashmc.failures <> [] then
+    Alcotest.failf "%s: %d crash-consistency failures:\n%s" scheme
+      (List.length r.Crashmc.failures)
+      (pp_failures r);
+  Alcotest.(check int) (scheme ^ ": all cases pass") r.Crashmc.cases
+    r.Crashmc.passes
+
+(* same seed -> byte-identical report, including the explored case set *)
+let test_deterministic () =
+  let j () =
+    Specpmt_obs.Json.to_string
+      (Crashmc.report_to_json (small_explore "SpecSPMT"))
+  in
+  Alcotest.(check string) "two runs, one report" (j ()) (j ())
+
+(* a (fuse, choice) pair replays to the same verdict the sweep computed *)
+let test_replay_roundtrip () =
+  let r = small_explore "PMDK" in
+  Alcotest.(check bool) "sweep found crash points" true (r.Crashmc.points > 0);
+  (match
+     Crashmc.replay ~cells:4 ~txs:2 ~max_writes:2 ~scheme:"PMDK" ~seed:7
+       ~fuse:1 ~choice:Crashmc.Persist_none ()
+   with
+  | Crashmc.Audit_ok _ -> ()
+  | Crashmc.Run_completed -> Alcotest.fail "fuse 1 should crash"
+  | Crashmc.Audit_failed f ->
+      Alcotest.failf "replay failed: %a" Crashmc.pp_failure f);
+  match
+    Crashmc.replay ~cells:4 ~txs:2 ~max_writes:2 ~scheme:"PMDK" ~seed:7
+      ~fuse:1_000_000 ~choice:Crashmc.Persist_all ()
+  with
+  | Crashmc.Run_completed -> ()
+  | _ -> Alcotest.fail "an unburnt fuse must report Run_completed"
+
+(* the reproducer encoding survives a round trip for every choice form *)
+let test_choice_roundtrip () =
+  List.iter
+    (fun c ->
+      let s = Crashmc.choice_to_string c in
+      match Crashmc.choice_of_string s with
+      | Ok c' ->
+          Alcotest.(check string) ("roundtrip " ^ s) s
+            (Crashmc.choice_to_string c')
+      | Error e -> Alcotest.failf "%s failed to parse back: %s" s e)
+    [
+      Crashmc.Persist_all;
+      Crashmc.Persist_none;
+      Crashmc.Keep_line 2;
+      Crashmc.Drop_line 0;
+      Crashmc.Keep_word 3;
+      Crashmc.Drop_word 1;
+    ];
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Crashmc.choice_of_string "keepline:x"))
+
+let () =
+  Alcotest.run "crashmc"
+    [
+      ( "exhaustive small workload",
+        List.map
+          (fun s -> Alcotest.test_case s `Slow (test_exhaustive_clean s))
+          (Crashmc.target_names ()) );
+      ( "engine",
+        [
+          Alcotest.test_case "deterministic report" `Quick test_deterministic;
+          Alcotest.test_case "replay roundtrip" `Quick test_replay_roundtrip;
+          Alcotest.test_case "choice encoding roundtrip" `Quick
+            test_choice_roundtrip;
+        ] );
+    ]

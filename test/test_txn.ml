@@ -235,6 +235,109 @@ let test_compact_is_crash_atomic () =
   done;
   Alcotest.(check bool) "eventually completes" true (!fuse > 1)
 
+(* compaction must keep one record per surviving timestamp, ascending —
+   restamping every survivor with the newest timestamp would reorder
+   entries against other threads' logs when recovery replays all logs in
+   global timestamp order (Section 5.2.2) *)
+let test_compact_preserves_timestamps () =
+  let pm, _, a = mk_arena () in
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:8 ~value:1);
+  ignore (Log_arena.add_entry a ~target:16 ~value:10);
+  Log_arena.commit_record a ~timestamp:1;
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:8 ~value:2);
+  Log_arena.commit_record a ~timestamp:2;
+  ignore (Log_arena.compact a);
+  let recs = ref [] in
+  ignore
+    (Log_arena.recover_scan pm ~head_slot ~block_bytes:bb ~f:(fun ~ts e ->
+         recs := (ts, Array.to_list e) :: !recs));
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "one record per surviving timestamp, ascending"
+    [ (1, [ (16, 10) ]); (2, [ (8, 2) ]) ]
+    (List.rev !recs)
+
+(* a torn [reset] must never leave a scannable record prefix: the caller
+   has already persisted the covered data, and replaying a stale prefix
+   (fresher records lost behind a severed chain) would roll it back.
+   Crash at every event of reset under deterministic per-word oracles and
+   require the log to read either fully intact or fully empty.
+
+   The record sizes are chosen so a record boundary lands within
+   [min_space] of the first block's end: the recovery scan must then
+   consult the head block's successor pointer — the very word a torn
+   reset corrupts.  (Mid-record continuations travel through in-payload
+   marker entries and never read it.) *)
+let test_reset_crash_atomic () =
+  let fill a =
+    List.iteri
+      (fun r n ->
+        Log_arena.begin_record a;
+        for i = 0 to n - 1 do
+          ignore
+            (Log_arena.add_entry a ~target:(8 * (i + 1)) ~value:((r * 100) + i))
+        done;
+        Log_arena.commit_record a ~timestamp:(r + 1))
+      [ 6; 6; 6; 5; 6; 6; 6 ]
+  in
+  let freshest scan =
+    let h = Hashtbl.create 8 in
+    List.iter
+      (fun (_, es) -> List.iter (fun (t, v) -> Hashtbl.replace h t v) es)
+      scan;
+    List.sort compare (Hashtbl.fold (fun t v acc -> (t, v) :: acc) h [])
+  in
+  let run fuse mk_oracle =
+    let pm, heap = mk () in
+    let a = Log_arena.create heap ~head_slot ~block_bytes:bb in
+    fill a;
+    let scan_all () =
+      let recs = ref [] in
+      ignore
+        (Log_arena.recover_scan pm ~head_slot ~block_bytes:bb ~f:(fun ~ts e ->
+             recs := (ts, Array.to_list e) :: !recs));
+      List.rev !recs
+    in
+    let full = freshest (scan_all ()) in
+    Pmem.set_fuse pm (Some fuse);
+    let crashed =
+      try
+        Log_arena.reset a;
+        false
+      with Pmem.Crash -> true
+    in
+    let dw = Pmem.dirty_words pm in
+    Pmem.crash_with pm ~persist:(mk_oracle dw);
+    let after = freshest (scan_all ()) in
+    Alcotest.(check bool)
+      (Printf.sprintf "fuse %d: log intact or empty, never a prefix" fuse)
+      true
+      (after = [] || after = full);
+    (crashed, List.length dw)
+  in
+  let all _ a = ignore a; true in
+  let none _ a = ignore a; false in
+  let keep_only k dw =
+    let w = List.nth dw k in
+    fun a -> a = w
+  in
+  let drop_only k dw =
+    let w = List.nth dw k in
+    fun a -> a <> w
+  in
+  let fuse = ref 1 and reset_completes = ref false in
+  while not !reset_completes do
+    let crashed, ndw = run !fuse all in
+    ignore (run !fuse none);
+    for k = 0 to ndw - 1 do
+      ignore (run !fuse (keep_only k));
+      ignore (run !fuse (drop_only k))
+    done;
+    if crashed then incr fuse else reset_completes := true
+  done;
+  Alcotest.(check bool) "reset eventually completes" true (!fuse > 1)
+
 (* page records (hardware bulk-copy format) *)
 
 let test_page_record_roundtrip () =
@@ -512,6 +615,10 @@ let () =
           Alcotest.test_case "attach resumes" `Quick test_arena_attach_resumes;
           Alcotest.test_case "compaction crash-atomic" `Slow
             test_compact_is_crash_atomic;
+          Alcotest.test_case "compact preserves timestamps" `Quick
+            test_compact_preserves_timestamps;
+          Alcotest.test_case "reset crash-atomic" `Quick
+            test_reset_crash_atomic;
           Alcotest.test_case "page record roundtrip" `Quick
             test_page_record_roundtrip;
           Alcotest.test_case "page record chains" `Quick
