@@ -73,9 +73,83 @@ let json_arg =
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE" ~doc)
 
+let reclaim_arg =
+  let doc =
+    "Reclamation policy for the SpecSPMT schemes: $(b,adaptive) (the \
+     pressure-model scheduler) or $(b,threshold:BYTES) (fixed footprint \
+     trigger)."
+  in
+  Arg.(value & opt (some string) None & info [ "reclaim" ] ~docv:"POLICY" ~doc)
+
+let recovery_arg =
+  let doc =
+    "Recovery mode for the SpecSPMT schemes: $(b,coalesce) (last-writer-wins \
+     index, one write per live cell) or $(b,replay) (the paper's \
+     replay-every-record loop)."
+  in
+  Arg.(value & opt (some string) None & info [ "recovery" ] ~docv:"MODE" ~doc)
+
+(* Apply --reclaim/--recovery to a SpecSPMT params record; [None] when
+   neither flag was given (the registry path stays in charge). *)
+let spec_params_override ~reclaim ~recovery base =
+  let fail fmt = Fmt.kpf (fun _ -> exit 2) Fmt.stderr fmt in
+  match (reclaim, recovery) with
+  | None, None -> None
+  | _ ->
+      let p =
+        match reclaim with
+        | None -> base
+        | Some "adaptive" ->
+            { base with Spec_soft.reclaim = Spec_soft.adaptive_policy }
+        | Some s when String.length s > 10 && String.sub s 0 10 = "threshold:"
+          -> (
+            match
+              int_of_string_opt (String.sub s 10 (String.length s - 10))
+            with
+            | Some b when b > 0 ->
+                { base with Spec_soft.reclaim = Spec_soft.Threshold b }
+            | _ -> fail "specpmt_run: bad --reclaim threshold in %S@." s)
+        | Some s ->
+            fail "specpmt_run: unknown --reclaim %S (adaptive|threshold:BYTES)@."
+              s
+      in
+      let p =
+        match recovery with
+        | None -> p
+        | Some "coalesce" -> { p with Spec_soft.recovery = Spec_soft.Coalesce }
+        | Some "replay" -> { p with Spec_soft.recovery = Spec_soft.Replay }
+        | Some s ->
+            fail "specpmt_run: unknown --recovery %S (coalesce|replay)@." s
+      in
+      Some p
+
 let run_cmd =
-  let run scheme wname scale seed json =
-    let m = Run.run ~seed ~scheme (get_workload wname) (parse_scale scale) in
+  let run scheme wname scale seed reclaim recovery json =
+    let w = get_workload wname in
+    let sc = parse_scale scale in
+    let base =
+      match scheme with
+      | "SpecSPMT" -> Some Spec_soft.default_params
+      | "SpecSPMT-DP" -> Some Spec_soft.dp_params
+      | _ -> None
+    in
+    let wants_override = reclaim <> None || recovery <> None in
+    let m =
+      match base with
+      | None when wants_override ->
+          Fmt.epr
+            "specpmt_run: --reclaim/--recovery only apply to the SpecSPMT \
+             schemes@.";
+          exit 2
+      | Some base when wants_override ->
+          let params =
+            Option.get (spec_params_override ~reclaim ~recovery base)
+          in
+          Run.run_custom ~seed
+            ~make:(fun heap -> fst (Spec_soft.create heap params))
+            ~name:scheme w sc
+      | _ -> Run.run ~seed ~scheme w sc
+    in
     print_measurement m;
     Option.iter
       (fun path ->
@@ -85,7 +159,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Measure one workload under one scheme")
     Term.(
-      const run $ scheme_arg $ workload_arg $ scale_arg $ seed_arg $ json_arg)
+      const run $ scheme_arg $ workload_arg $ scale_arg $ seed_arg
+      $ reclaim_arg $ recovery_arg $ json_arg)
 
 let compare_cmd =
   let run wname scale seed json =

@@ -5,8 +5,11 @@
     its own log without consulting with other threads") and a per-thread
     {!Specpmt_backends.Spec_soft} runtime; they share the pool and a
     logical timestamp counter — the stand-in for [rdtscp].  Recovery scans
-    {e every} thread's log and replays all records in global timestamp
-    order, exactly as Section 5.2.2 prescribes.
+    {e every} thread's log and merges the records by global timestamp,
+    exactly as Section 5.2.2 prescribes: in {!Spec_soft.Replay} mode by
+    sorting and replaying oldest first, in the default
+    {!Spec_soft.Coalesce} mode by folding all logs into one
+    last-writer-wins index and writing each live cell exactly once.
 
     Threads here are deterministic interleavings (the test harness runs
     one transaction at a time); concurrency control is the application's
@@ -28,6 +31,9 @@ val runtime : t -> int -> Spec_soft.t
     ({!Spec_soft.reclaim_now}) and crash-exploration drivers. *)
 
 val threads : t -> int
+(** Number of simulated threads this pool was created with. *)
 
 val recover : t -> unit
-(** Post-crash recovery across all thread logs, merged by timestamp. *)
+(** Post-crash recovery across all thread logs, merged by timestamp
+    (per the pool's {!Spec_soft.recovery_mode}), then reattaches every
+    thread's arena and rebuilds its volatile live index. *)

@@ -122,7 +122,12 @@ let of_backend (b : Ctx.backend) =
    exhaustively would never chain a block or compact — precisely the
    code recovery depends on.  256 bytes is the arena's minimum block. *)
 let mc_params ~data_persist =
-  { Spec_soft.data_persist; block_bytes = 256; reclaim_threshold = 512 }
+  {
+    Spec_soft.data_persist;
+    block_bytes = 256;
+    reclaim = Spec_soft.Threshold 512;
+    recovery = Spec_soft.Coalesce;
+  }
 
 let sw_target k =
   match k with
@@ -145,6 +150,46 @@ let sw_target k =
         t_name = Registry.name k;
         make = (fun heap ~total_txs:_ -> of_backend (Registry.create heap k));
       }
+
+(* Differential oracle: the same workload audited under the legacy
+   replay-every-record recovery.  A divergence between this target and
+   the default SpecSPMT one localises a bug to the coalescing path. *)
+let replay_target =
+  {
+    t_name = "SpecSPMT-replay";
+    make =
+      (fun heap ~total_txs:_ ->
+        of_backend
+          (fst
+             (Spec_soft.create heap
+                {
+                  (mc_params ~data_persist:false) with
+                  Spec_soft.recovery = Spec_soft.Replay;
+                })));
+  }
+
+(* Adaptive reclamation under crash exploration: aggressive knobs so the
+   index-driven compactor (prefix evacuation included) actually fires
+   inside the tiny exhaustive workloads. *)
+let adaptive_target =
+  {
+    t_name = "SpecSPMT-adaptive";
+    make =
+      (fun heap ~total_txs:_ ->
+        of_backend
+          (fst
+             (Spec_soft.create heap
+                {
+                  (mc_params ~data_persist:false) with
+                  Spec_soft.reclaim =
+                    Spec_soft.Adaptive
+                      {
+                        min_log_bytes = 512;
+                        stale_trigger = 0.3;
+                        bg_duty = 1.0;
+                      };
+                })));
+  }
 
 let mt_target =
   {
@@ -224,7 +269,7 @@ let recoverable_hw =
 
 let targets () =
   List.map sw_target (Lazy.force recoverable_sw)
-  @ [ mt_target; switch_target ]
+  @ [ replay_target; adaptive_target; mt_target; switch_target ]
   @ List.map hw_target (Lazy.force recoverable_hw)
 
 let target_names () = List.map (fun t -> t.t_name) (targets ())

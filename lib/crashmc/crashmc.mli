@@ -28,14 +28,18 @@
     Failures carry the recent {!Specpmt_obs.Trace} events.
 
     Explorable schemes are every recoverable registered backend
-    (software and simulated hardware), plus two composite targets that
-    only exist here: ["SpecSPMT-MT"], the 3-thread runtime with
-    per-thread logs recovered in global timestamp order (Section 5.2.2),
-    and ["SpecSPMT+switch"], which switches out of speculative logging to
-    PMDK-style undo mid-workload (Section 4.3.1).  The SpecPMT variants
-    run with a deliberately small log geometry (256-byte blocks, 512-byte
-    reclamation threshold) so block chaining and log compaction fall
-    inside the explored window. *)
+    (software and simulated hardware), plus four composite targets that
+    only exist here: ["SpecSPMT-replay"], the default scheme under the
+    legacy replay-every-record recovery (the differential oracle for the
+    coalescing recovery path); ["SpecSPMT-adaptive"], with aggressive
+    adaptive-reclamation knobs so the index-driven prefix evacuation
+    fires inside the explored window; ["SpecSPMT-MT"], the 3-thread
+    runtime with per-thread logs recovered in global timestamp order
+    (Section 5.2.2); and ["SpecSPMT+switch"], which switches out of
+    speculative logging to PMDK-style undo mid-workload (Section 4.3.1).
+    The SpecPMT variants run with a deliberately small log geometry
+    (256-byte blocks, 512-byte reclamation threshold) so block chaining
+    and log compaction fall inside the explored window. *)
 
 (** {1 Persist choices} *)
 
@@ -52,7 +56,10 @@ type choice =
   | Drop_word of int  (** all but the [k]-th dirty word (["dropword:K"]) *)
 
 val choice_to_string : choice -> string
+(** The reproducer encoding shown above ([choice_of_string]'s inverse). *)
+
 val choice_of_string : string -> (choice, string) result
+(** Parse a reproducer encoding; [Error] carries a usage message. *)
 
 (** Which choice families to enumerate at each crash point.  The
     all-drain case always runs first regardless — it doubles as the probe
@@ -138,6 +145,8 @@ val replay :
 (** {1 Rendering} *)
 
 val pp_failure : Format.formatter -> failure -> unit
+(** Human-readable failure: verdict, recovered-vs-expected cells and the
+    one-line reproducer. *)
 
 val report_to_json : report -> Specpmt_obs.Json.t
 (** Schema-stable JSON ([generator = "specpmt-crashmc"]); failures embed

@@ -11,7 +11,11 @@ type t = {
       (** volatile cache capacity in 64-byte lines; evictions past this
           write dirty lines back to the media *)
   l1_hit_ns : float;  (** load/store hit in the volatile hierarchy *)
-  pm_read_ns : float;  (** persistent-media read (cache miss) *)
+  pm_read_ns : float;  (** persistent-media random read (cache miss) *)
+  pm_seq_read_ns : float;
+      (** read miss landing on the line at or right after the previously
+          read line (streaming scan: bandwidth-bound, prefetch hides the
+          latency) *)
   pm_write_ns : float;  (** persistent-media random line write *)
   pm_seq_write_ns : float;
       (** line write landing right after the previously persisted line *)

@@ -26,6 +26,7 @@ type t = {
   mutable pending : float list; (* completion times of accepted persists *)
   mutable last_completion : float; (* WPQ is a serial server *)
   mutable last_persist_line : int; (* for the sequential-write fast path *)
+  mutable last_read_line : int; (* for the sequential-read fast path *)
   mutable fuse : int option;
   mutable events : int; (* monotonic count of fuse-visible memory events *)
   mutable metered : bool;
@@ -47,6 +48,7 @@ let create ?(seed = 42) cfg =
     pending = [];
     last_completion = 0.0;
     last_persist_line = -10;
+    last_read_line = -10;
     fuse = None;
     events = 0;
     metered = true;
@@ -171,7 +173,18 @@ let get_line t li ~for_load =
       if for_load then begin
         count (fun s -> s.Stats.pm_read_lines <- s.Stats.pm_read_lines + 1) t;
         if t.metered then Specpmt_obs.Phase.on_pm_read_line ();
-        charge t t.cfg.Config.pm_read_ns
+        (* a miss continuing the previous miss's stream is bandwidth-bound:
+           prefetch hides the media latency (the read-side twin of the
+           sequential-write fast path) *)
+        let seq = li = t.last_read_line + 1 || li = t.last_read_line in
+        if seq then begin
+          count
+            (fun s -> s.Stats.pm_read_lines_seq <- s.Stats.pm_read_lines_seq + 1)
+            t;
+          charge t t.cfg.Config.pm_seq_read_ns
+        end
+        else charge t t.cfg.Config.pm_read_ns;
+        if t.metered then t.last_read_line <- li
       end
       else charge t t.cfg.Config.l1_hit_ns;
       let data = Bytes.create Addr.line_size in

@@ -11,6 +11,8 @@ type t = {
   mutable fences : int;
   mutable nt_stores : int;
   mutable pm_read_lines : int;  (** lines fetched from the media *)
+  mutable pm_read_lines_seq : int;
+      (** subset of [pm_read_lines] that hit the sequential fast path *)
   mutable pm_write_lines : int;  (** lines written to the media, all causes *)
   mutable pm_write_lines_seq : int;
       (** subset of [pm_write_lines] that hit the sequential fast path *)
@@ -27,6 +29,7 @@ let create () =
     fences = 0;
     nt_stores = 0;
     pm_read_lines = 0;
+    pm_read_lines_seq = 0;
     pm_write_lines = 0;
     pm_write_lines_seq = 0;
     evictions = 0;
@@ -46,6 +49,7 @@ let diff a b =
     fences = b.fences - a.fences;
     nt_stores = b.nt_stores - a.nt_stores;
     pm_read_lines = b.pm_read_lines - a.pm_read_lines;
+    pm_read_lines_seq = b.pm_read_lines_seq - a.pm_read_lines_seq;
     pm_write_lines = b.pm_write_lines - a.pm_write_lines;
     pm_write_lines_seq = b.pm_write_lines_seq - a.pm_write_lines_seq;
     evictions = b.evictions - a.evictions;
@@ -65,6 +69,7 @@ let to_json t =
       ("fences", Int t.fences);
       ("nt_stores", Int t.nt_stores);
       ("pm_read_lines", Int t.pm_read_lines);
+      ("pm_read_lines_seq", Int t.pm_read_lines_seq);
       ("pm_write_lines", Int t.pm_write_lines);
       ("pm_write_lines_seq", Int t.pm_write_lines_seq);
       ("evictions", Int t.evictions);
@@ -75,7 +80,8 @@ let to_json t =
 let pp ppf t =
   Fmt.pf ppf
     "@[<v>loads %d; stores %d; clwbs %d; fences %d; nt %d@ pm-reads %d \
-     lines; pm-writes %d lines (%d seq); evictions %d@ time %.0f ns \
-     (+%.0f ns background)@]"
+     lines (%d seq); pm-writes %d lines (%d seq); evictions %d@ time %.0f \
+     ns (+%.0f ns background)@]"
     t.loads t.stores t.clwbs t.fences t.nt_stores t.pm_read_lines
-    t.pm_write_lines t.pm_write_lines_seq t.evictions t.ns t.bg_ns
+    t.pm_read_lines_seq t.pm_write_lines t.pm_write_lines_seq t.evictions
+    t.ns t.bg_ns

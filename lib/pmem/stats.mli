@@ -11,6 +11,8 @@ type t = {
   mutable fences : int;
   mutable nt_stores : int;
   mutable pm_read_lines : int;  (** lines fetched from the media *)
+  mutable pm_read_lines_seq : int;
+      (** subset of [pm_read_lines] on the sequential fast path *)
   mutable pm_write_lines : int;  (** lines written to the media, all causes *)
   mutable pm_write_lines_seq : int;
       (** subset of [pm_write_lines] on the sequential fast path *)

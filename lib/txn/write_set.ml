@@ -12,6 +12,13 @@ type slot = {
   mutable entry_pos : int;
       (** backend-specific position of the cell's log entry; [-1] if the
           backend has not materialised one *)
+  mutable last_value : int;
+      (** most recent value written to the cell this transaction — lets
+          commit feed a volatile live-entry index without re-reading the
+          device *)
+  mutable entry_block : int;
+      (** log block holding the cell's entry ([-1] if none) — feeds the
+          per-block liveness accounting behind adaptive reclamation *)
 }
 
 type t = { slots : (Addr.t, slot) Hashtbl.t; mutable order : Addr.t list }
@@ -30,7 +37,9 @@ let record t addr ~old_value =
   match Hashtbl.find_opt t.slots addr with
   | Some slot -> (slot, false)
   | None ->
-      let slot = { old_value; entry_pos = -1 } in
+      let slot =
+        { old_value; entry_pos = -1; last_value = old_value; entry_block = -1 }
+      in
       Hashtbl.replace t.slots addr slot;
       t.order <- addr :: t.order;
       (slot, true)

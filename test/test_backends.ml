@@ -199,7 +199,7 @@ let test_spec_reclamation_bounds_log () =
   let heap = Heap.create pm in
   let backend, t =
     Spec_soft.create heap
-      { Spec_soft.default_params with reclaim_threshold = 16 * 1024 }
+      { Spec_soft.default_params with reclaim = Spec_soft.Threshold (16 * 1024) }
   in
   let base = Heap.alloc heap (8 * 8) in
   for round = 0 to 400 do
@@ -537,6 +537,167 @@ let test_switch_out_crash_atomic () =
   done;
   Alcotest.(check bool) "switch_out eventually completes" true (!fuse > 2)
 
+(* coalescing recovery's headline property: recovery cost tracks live
+   data, not log length.  N stale overwrites of one cell recover with
+   exactly one data write under [Coalesce]; the [Replay] oracle pays one
+   write per record *)
+let test_recover_coalesces_stale_overwrites () =
+  let overwrites = 50 in
+  let run mode =
+    let pm = Pmem.create ~seed:13 Config.small in
+    let heap = Heap.create pm in
+    let backend, _ =
+      Spec_soft.create heap { Spec_soft.default_params with recovery = mode }
+    in
+    let base = Heap.alloc heap 8 in
+    for r = 1 to overwrites do
+      backend.Ctx.run_tx (fun ctx -> ctx.Ctx.write base r)
+    done;
+    Pmem.crash pm;
+    Specpmt_obs.Metrics.reset_all ();
+    backend.Ctx.recover ();
+    Alcotest.(check int) "freshest value recovered" overwrites
+      (Pmem.peek_volatile_int pm base);
+    Specpmt_obs.Metrics.counter_value
+      (Specpmt_obs.Metrics.counter "recover.data_writes")
+  in
+  Alcotest.(check int) "coalesced: one write for the live cell" 1
+    (run Spec_soft.Coalesce);
+  Alcotest.(check int) "replay oracle: one write per record" overwrites
+    (run Spec_soft.Replay)
+
+(* differential oracle: on any randomized 3-thread history with a crash,
+   coalescing recovery must reproduce exactly the state the paper's
+   sort-and-replay algorithm yields.  The pre-crash execution is
+   deterministic in the seeds and independent of the recovery mode, so
+   the two runs see identical logs and media states. *)
+let prop_mt_recovery_differential =
+  QCheck.Test.make
+    ~name:"coalesced recovery == legacy replay (3 threads)" ~count:40
+    QCheck.(triple small_nat small_nat (int_bound 10000))
+    (fun (seed, fuse_seed, salt) ->
+      let cells = 10 and txs_per_thread = 5 in
+      let run mode =
+        let rand = Random.State.make [| seed; salt; 72 |] in
+        let pm =
+          Pmem.create ~seed:(salt + 5)
+            {
+              Config.small with
+              crash_word_persist_prob = float_of_int (seed mod 11) /. 10.0;
+            }
+        in
+        let heap = Heap.create pm in
+        let mt =
+          Spec_mt.create
+            ~params:{ Spec_soft.default_params with recovery = mode }
+            heap ~threads:3
+        in
+        let base = Heap.alloc heap (cells * 8) in
+        (Spec_mt.thread mt 0).Ctx.run_tx (fun ctx ->
+            for i = 0 to cells - 1 do
+              ctx.Ctx.write (base + (i * 8)) 0
+            done);
+        let schedule =
+          List.concat_map
+            (fun th -> List.init txs_per_thread (fun _ -> th))
+            [ 0; 1; 2 ]
+          |> List.sort (fun _ _ -> if Random.State.bool rand then 1 else -1)
+        in
+        let txs =
+          List.map
+            (fun th ->
+              ( th,
+                List.init
+                  (1 + Random.State.int rand 4)
+                  (fun _ ->
+                    (Random.State.int rand cells, Random.State.int rand 100000))
+              ))
+            schedule
+        in
+        Pmem.set_fuse pm (Some (1 + (((fuse_seed * 53) + salt) mod 2500)));
+        (try
+           List.iter
+             (fun (th, writes) ->
+               (Spec_mt.thread mt th).Ctx.run_tx (fun ctx ->
+                   List.iter
+                     (fun (c, v) -> ctx.Ctx.write (base + (c * 8)) v)
+                     writes))
+             txs
+         with Pmem.Crash -> ());
+        Pmem.set_fuse pm None;
+        Pmem.crash pm;
+        Spec_mt.recover mt;
+        Testlib.read_cells pm base cells
+      in
+      run Spec_soft.Coalesce = run Spec_soft.Replay)
+
+(* the adaptive scheduler fires on its own once footprint and staleness
+   cross its thresholds, keeps the log bounded, and its prefix
+   evacuations stay crash-consistent *)
+let test_adaptive_reclaim_triggers () =
+  let pm = Pmem.create ~seed:17 Config.small in
+  let heap = Heap.create pm in
+  let backend, t =
+    Spec_soft.create heap
+      {
+        Spec_soft.default_params with
+        reclaim =
+          Spec_soft.Adaptive
+            { min_log_bytes = 8 * 1024; stale_trigger = 0.5; bg_duty = 1.0 };
+      }
+  in
+  let base = Heap.alloc heap (8 * 8) in
+  for round = 0 to 400 do
+    backend.Ctx.run_tx (fun ctx ->
+        for i = 0 to 7 do
+          ctx.Ctx.write (base + (i * 8)) (round + i)
+        done)
+  done;
+  Alcotest.(check bool) "scheduler fired" true (Spec_soft.reclaim_count t > 0);
+  Alcotest.(check bool) "log stays bounded" true
+    (backend.Ctx.log_footprint () <= 32 * 1024);
+  Alcotest.(check int) "index tracks the working set" 8
+    (Spec_soft.live_cells t);
+  Pmem.crash pm;
+  backend.Ctx.recover ();
+  let cells = Testlib.read_cells pm base 8 in
+  for i = 0 to 7 do
+    Alcotest.(check int) "freshest value" (400 + i) cells.(i)
+  done
+
+(* with no background budget the scheduler must hold off and account for
+   the deferral rather than compact on the foreground's dime.  The
+   long-lived cells pin live entries into the oldest blocks so every
+   candidate evacuation has a nonzero copy estimate (a fully-dead prefix
+   would be a zero-cost drop, which even a zero budget allows). *)
+let test_adaptive_defers_without_budget () =
+  let pm = Pmem.create ~seed:19 Config.small in
+  let heap = Heap.create pm in
+  let backend, t =
+    Spec_soft.create heap
+      {
+        Spec_soft.default_params with
+        reclaim =
+          Spec_soft.Adaptive
+            { min_log_bytes = 1024; stale_trigger = 0.5; bg_duty = 0.0 };
+      }
+  in
+  Specpmt_obs.Metrics.reset_all ();
+  let base = Heap.alloc heap (9 * 8) in
+  backend.Ctx.run_tx (fun ctx ->
+      for i = 1 to 8 do
+        ctx.Ctx.write (base + (i * 8)) i
+      done);
+  for round = 1 to 300 do
+    backend.Ctx.run_tx (fun ctx -> ctx.Ctx.write base round)
+  done;
+  Alcotest.(check int) "no compaction without budget" 0
+    (Spec_soft.reclaim_count t);
+  Alcotest.(check bool) "deferrals accounted" true
+    (Specpmt_obs.Metrics.counter_value
+       (Specpmt_obs.Metrics.counter "reclaim.deferred_bg_budget")
+    > 0)
+
 let durability_cases =
   List.concat_map
     (fun kind ->
@@ -669,6 +830,13 @@ let () =
             test_mechanism_switch;
           Alcotest.test_case "switch_out crash-atomic" `Slow
             test_switch_out_crash_atomic;
+          Alcotest.test_case "coalesced recovery writes each cell once" `Quick
+            test_recover_coalesces_stale_overwrites;
+          QCheck_alcotest.to_alcotest prop_mt_recovery_differential;
+          Alcotest.test_case "adaptive reclamation triggers" `Quick
+            test_adaptive_reclaim_triggers;
+          Alcotest.test_case "adaptive reclamation defers on budget" `Quick
+            test_adaptive_defers_without_budget;
         ] );
       ( "regressions",
         [

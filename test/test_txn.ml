@@ -258,6 +258,228 @@ let test_compact_preserves_timestamps () =
     [ (1, [ (16, 10) ]); (2, [ (8, 2) ]) ]
     (List.rev !recs)
 
+(* coalescing scan *)
+
+let test_recover_collect_last_writer_wins () =
+  let pm, _, a = mk_arena () in
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:8 ~value:1);
+  ignore (Log_arena.add_entry a ~target:16 ~value:10);
+  Log_arena.commit_record a ~timestamp:1;
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:8 ~value:2);
+  Log_arena.commit_record a ~timestamp:2;
+  (* torn tail: must not reach the index *)
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:16 ~value:666);
+  Pmem.crash pm;
+  let index = Hashtbl.create 8 in
+  let max_ts, records, entries =
+    Log_arena.recover_collect pm ~head_slot ~block_bytes:bb ~index
+  in
+  Alcotest.(check int) "max ts" 2 max_ts;
+  Alcotest.(check int) "records scanned" 2 records;
+  Alcotest.(check int) "entries scanned" 3 entries;
+  Alcotest.(check int) "index holds live set" 2 (Hashtbl.length index);
+  let v, ts, _ = Hashtbl.find index 8 in
+  Alcotest.(check (pair int int)) "freshest write wins" (2, 2) (v, ts);
+  let v, ts, _ = Hashtbl.find index 16 in
+  Alcotest.(check (pair int int)) "old but live survives" (10, 1) (v, ts)
+
+let freshest_cells pm =
+  let h = Hashtbl.create 8 in
+  ignore
+    (Log_arena.recover_scan pm ~head_slot ~block_bytes:bb ~f:(fun ~ts:_ es ->
+         Array.iter (fun (t, v) -> Hashtbl.replace h t v) es));
+  List.sort compare (Hashtbl.fold (fun t v acc -> (t, v) :: acc) h [])
+
+(* Group a coalescing-scan index into [compact_indexed]'s input shape:
+   timestamp-ascending (target, value) groups, optionally restricted to
+   entries living in [blocks]. *)
+let live_groups ?blocks pm =
+  let index = Hashtbl.create 32 in
+  ignore (Log_arena.recover_collect pm ~head_slot ~block_bytes:bb ~index);
+  let keep b =
+    match blocks with None -> true | Some bs -> List.mem b bs
+  in
+  let by_ts = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun a (v, ts, b) ->
+      if keep b then
+        let l = try Hashtbl.find by_ts ts with Not_found -> [] in
+        Hashtbl.replace by_ts ts ((a, v) :: l))
+    index;
+  Hashtbl.fold (fun ts l acc -> (ts, l) :: acc) by_ts []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let test_compact_indexed_equals_scan_compact () =
+  (* the index-driven compactor and the legacy scan-based one must leave
+     behind logs that recover identically — same cells, same one-record-
+     per-surviving-timestamp ascending layout *)
+  let pm1, _, a1 = mk_arena () in
+  let pm2, _, a2 = mk_arena () in
+  fill_arena a1 20;
+  fill_arena a2 20;
+  ignore (Log_arena.compact a1);
+  let live = live_groups pm2 in
+  let st = Log_arena.compact_indexed a2 ~live in
+  Alcotest.(check int) "4 live entries copied" 4 st.Log_arena.entries_live;
+  Alcotest.(check bool) "blocks freed" true (st.Log_arena.blocks_freed > 0);
+  Pmem.crash pm1;
+  Pmem.crash pm2;
+  Alcotest.(check (list (pair int int)))
+    "same recovered cells" (freshest_cells pm1) (freshest_cells pm2);
+  (* one record per surviving timestamp, ascending; entry order within a
+     record is immaterial (at most one entry per datum per record) *)
+  let layout pm =
+    let recs = ref [] in
+    ignore
+      (Log_arena.recover_scan pm ~head_slot ~block_bytes:bb ~f:(fun ~ts e ->
+           recs := (ts, List.sort compare (Array.to_list e)) :: !recs));
+    List.rev !recs
+  in
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "same record layout" (layout pm1) (layout pm2)
+
+let test_compact_indexed_prefix_keeps_suffix () =
+  let pm, _, a = mk_arena () in
+  fill_arena a 6;
+  Log_arena.seal_block a;
+  (* the sealed boundary starts a fresh block: a legal splice point *)
+  let boundary = Log_arena.current_block a in
+  Alcotest.(check bool) "boundary is a clean start" true
+    (Log_arena.is_clean_start a boundary);
+  fill_arena a 3;
+  let before = freshest_cells pm in
+  let prefix =
+    let rec take = function
+      | b :: _ when b = boundary -> []
+      | b :: rest -> b :: take rest
+      | [] -> []
+    in
+    take (Log_arena.chain a)
+  in
+  let live = live_groups ~blocks:prefix pm in
+  let placed = ref 0 in
+  let st =
+    Log_arena.compact_indexed ~keep_from:boundary a ~live
+      ~on_place:(fun _ ~block:_ -> incr placed)
+  in
+  Alcotest.(check int) "every prefix survivor placed" !placed
+    st.Log_arena.entries_live;
+  Alcotest.(check bool) "prefix blocks freed" true
+    (st.Log_arena.blocks_freed > 0);
+  Alcotest.(check (list (pair int int)))
+    "suffix and prefix survivors all recover" before (freshest_cells pm);
+  (* the arena must still append: the retained suffix owns the tail *)
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:8192 ~value:777);
+  Log_arena.commit_record a ~timestamp:400;
+  Pmem.crash pm;
+  Alcotest.(check (list (pair int int)))
+    "append after prefix evacuation"
+    (List.sort compare ((8192, 777) :: before))
+    (freshest_cells pm)
+
+let test_compact_indexed_fully_stale_prefix_drops () =
+  (* when nothing in the prefix is live, evacuation degrades to the
+     zero-copy pointer-switch drop *)
+  let pm, _, a = mk_arena () in
+  fill_arena a 6;
+  Log_arena.seal_block a;
+  let boundary = Log_arena.current_block a in
+  (* overwrite every cell after the boundary: the prefix is all stale *)
+  fill_arena a 3;
+  let before = freshest_cells pm in
+  let st = Log_arena.compact_indexed ~keep_from:boundary a ~live:[] in
+  Alcotest.(check int) "zero copies" 0 st.Log_arena.entries_live;
+  Alcotest.(check int) "zero blocks allocated" 0 st.Log_arena.blocks_allocated;
+  Alcotest.(check bool) "prefix dropped" true (st.Log_arena.blocks_freed > 0);
+  Pmem.crash pm;
+  Alcotest.(check (list (pair int int)))
+    "suffix alone recovers everything" before (freshest_cells pm)
+
+let test_compact_indexed_crash_atomic () =
+  (* crash at every event during an indexed compaction (full rewrite and
+     prefix evacuation): a scan must always see the freshest value of
+     every cell — the same property [test_compact_is_crash_atomic] pins
+     for the legacy compactor *)
+  let run ~prefix fuse =
+    let pm =
+      Pmem.create { Config.small with crash_word_persist_prob = 0.5 }
+    in
+    let heap = Heap.create pm in
+    let a = Log_arena.create heap ~head_slot ~block_bytes:bb in
+    fill_arena a 6;
+    let keep_from =
+      if not prefix then None
+      else begin
+        Log_arena.seal_block a;
+        let b = Log_arena.current_block a in
+        fill_arena a 3;
+        Some b
+      end
+    in
+    let final = freshest_cells pm in
+    let blocks =
+      Option.map
+        (fun b ->
+          let rec take = function
+            | x :: _ when x = b -> []
+            | x :: rest -> x :: take rest
+            | [] -> []
+          in
+          take (Log_arena.chain a))
+        keep_from
+    in
+    let live = live_groups ?blocks pm in
+    Pmem.set_fuse pm (Some fuse);
+    let crashed =
+      try
+        ignore (Log_arena.compact_indexed ?keep_from a ~live);
+        false
+      with Pmem.Crash -> true
+    in
+    Pmem.crash pm;
+    Alcotest.(check (list (pair int int)))
+      (Printf.sprintf "prefix=%b fuse %d: freshest cells survive" prefix fuse)
+      final (freshest_cells pm);
+    crashed
+  in
+  List.iter
+    (fun prefix ->
+      let fuse = ref 1 in
+      while run ~prefix !fuse do
+        incr fuse
+      done;
+      Alcotest.(check bool) "eventually completes" true (!fuse > 1))
+    [ false; true ]
+
+(* the arena's volatile accounting (total entries, per-block entries,
+   clean starts) must survive an [attach] — it feeds the adaptive
+   reclamation scheduler's pressure model *)
+let test_attach_rebuilds_accounting () =
+  let pm, heap, a = mk_arena () in
+  fill_arena a 12;
+  let total = Log_arena.total_entries a in
+  let per_block =
+    List.map (fun b -> Log_arena.entries_in_block a b) (Log_arena.chain a)
+  in
+  let clean =
+    List.map (fun b -> Log_arena.is_clean_start a b) (Log_arena.chain a)
+  in
+  Alcotest.(check int) "12 records x 10 entries" 120 total;
+  ignore pm;
+  let a2 = Log_arena.attach heap ~head_slot ~block_bytes:bb in
+  Alcotest.(check int) "total entries rebuilt" total
+    (Log_arena.total_entries a2);
+  Alcotest.(check (list int))
+    "per-block entries rebuilt" per_block
+    (List.map (fun b -> Log_arena.entries_in_block a2 b) (Log_arena.chain a2));
+  Alcotest.(check (list bool))
+    "clean starts rebuilt" clean
+    (List.map (fun b -> Log_arena.is_clean_start a2 b) (Log_arena.chain a2))
+
 (* a torn [reset] must never leave a scannable record prefix: the caller
    has already persisted the covered data, and replaying a stale prefix
    (fresher records lost behind a severed chain) would roll it back.
@@ -617,6 +839,18 @@ let () =
             test_compact_is_crash_atomic;
           Alcotest.test_case "compact preserves timestamps" `Quick
             test_compact_preserves_timestamps;
+          Alcotest.test_case "recover_collect last-writer-wins" `Quick
+            test_recover_collect_last_writer_wins;
+          Alcotest.test_case "compact_indexed equals scan compact" `Quick
+            test_compact_indexed_equals_scan_compact;
+          Alcotest.test_case "compact_indexed keeps suffix" `Quick
+            test_compact_indexed_prefix_keeps_suffix;
+          Alcotest.test_case "compact_indexed drops stale prefix" `Quick
+            test_compact_indexed_fully_stale_prefix_drops;
+          Alcotest.test_case "compact_indexed crash-atomic" `Slow
+            test_compact_indexed_crash_atomic;
+          Alcotest.test_case "attach rebuilds accounting" `Quick
+            test_attach_rebuilds_accounting;
           Alcotest.test_case "reset crash-atomic" `Quick
             test_reset_crash_atomic;
           Alcotest.test_case "page record roundtrip" `Quick
