@@ -52,6 +52,12 @@ let sweep_rows : Json.t list ref = ref []
 let record_sweep row =
   if !json_path <> None then sweep_rows := row :: !sweep_rows
 
+(* Rows of the service-layer experiment (`svc`) — like the recovery
+   sweep, an additive top-level key, no schema bump. *)
+let svc_rows : Json.t list ref = ref []
+
+let record_svc row = if !json_path <> None then svc_rows := row :: !svc_rows
+
 let write_json_report path =
   let seen = Hashtbl.create 64 in
   let results =
@@ -77,9 +83,11 @@ let write_json_report path =
           ("scale", Json.Str (scale_name ()));
           ("results", Json.List results);
         ]
+       @ (if !sweep_rows = [] then []
+          else [ ("recovery_sweep", Json.List (List.rev !sweep_rows)) ])
        @
-       if !sweep_rows = [] then []
-       else [ ("recovery_sweep", Json.List (List.rev !sweep_rows)) ]));
+       if !svc_rows = [] then []
+       else [ ("svc", Json.List (List.rev !svc_rows)) ]));
   Printf.printf "\nwrote %d measurements to %s\n" (List.length results) path
 
 (* The paper's software results come from a real machine running full
@@ -487,9 +495,10 @@ let sweeps () =
       let m =
         Run.run_custom
           ~make:(fun heap ->
-            fst
-              (Spec_soft.create heap
-                 { Spec_soft.default_params with Spec_soft.block_bytes }))
+            create_scheme
+              ~spec_params:
+                { Spec_soft.default_params with Spec_soft.block_bytes }
+              heap "SpecSPMT")
           ~name:"SpecSPMT-block" (workload "vacation-high") !scale
       in
       Printf.printf "%8d B   %12.3f %12d %10d\n" block_bytes
@@ -505,12 +514,13 @@ let sweeps () =
       let m =
         Run.run_custom
           ~make:(fun heap ->
-            fst
-              (Spec_soft.create heap
-                 {
-                   Spec_soft.default_params with
-                   Spec_soft.reclaim = Spec_soft.Threshold reclaim_threshold;
-                 }))
+            create_scheme
+              ~spec_params:
+                {
+                  Spec_soft.default_params with
+                  Spec_soft.reclaim = Spec_soft.Threshold reclaim_threshold;
+                }
+              heap "SpecSPMT")
           ~name:"SpecSPMT-reclaim" (workload "intruder") !scale
       in
       Printf.printf "%8d KiB %12.3f %12d %12.3f\n" (reclaim_threshold / 1024)
@@ -675,13 +685,15 @@ let recovery () =
     (fun (txs, reclaim) ->
       let pm = Pmem.create ~seed:5 Pmem_config.default in
       let heap = Heap.create pm in
-      let backend, _ =
-        Spec_soft.create heap
-          {
-            Spec_soft.default_params with
-            Spec_soft.reclaim =
-              Spec_soft.Threshold (if reclaim then 256 * 1024 else max_int);
-          }
+      let backend =
+        create_scheme
+          ~spec_params:
+            {
+              Spec_soft.default_params with
+              Spec_soft.reclaim =
+                Spec_soft.Threshold (if reclaim then 256 * 1024 else max_int);
+            }
+          heap "SpecSPMT"
       in
       let base = Heap.alloc heap (64 * 8) in
       for r = 0 to txs - 1 do
@@ -723,13 +735,15 @@ let mode_name = function
 let recovery_case ~cells ~rounds ~mode =
   let pm = Pmem.create ~seed:7 Pmem_config.default in
   let heap = Heap.create pm in
-  let backend, _ =
-    Spec_soft.create heap
-      {
-        Spec_soft.default_params with
-        Spec_soft.reclaim = Spec_soft.Threshold max_int;
-        Spec_soft.recovery = mode;
-      }
+  let backend =
+    create_scheme
+      ~spec_params:
+        {
+          Spec_soft.default_params with
+          Spec_soft.reclaim = Spec_soft.Threshold max_int;
+          Spec_soft.recovery = mode;
+        }
+      heap "SpecSPMT"
   in
   let stride = 64 in
   let base = Heap.alloc heap (cells * stride) in
@@ -828,9 +842,10 @@ let recovery_sweep () =
       let m =
         Run.run_custom
           ~make:(fun heap ->
-            fst
-              (Spec_soft.create heap
-                 { Spec_soft.default_params with Spec_soft.reclaim = policy }))
+            create_scheme
+              ~spec_params:
+                { Spec_soft.default_params with Spec_soft.reclaim = policy }
+              heap "SpecSPMT")
           ~name:("SpecSPMT-" ^ label) (workload "intruder") !scale
       in
       let counter n = Obs.Metrics.counter_value (Obs.Metrics.counter n) in
@@ -855,6 +870,79 @@ let recovery_sweep () =
       ("threshold-256KiB", Spec_soft.Threshold (256 * 1024));
       ("adaptive", Spec_soft.adaptive_policy);
     ]
+
+(* ---------- Extension: service layer (group commit) ---------- *)
+
+(* Batch-size sweep over the sharded KV service: the same closed-loop
+   load at every batch_max, so the only thing that moves is how many
+   transactions share one seal fence.  Fences per write must fall
+   monotonically towards 1/batch_max — the group-commit amortization of
+   SpecPMT's last ordering point.  Each JSON row is one Loadgen report
+   (additive `svc` top-level key). *)
+let svc () =
+  header
+    "Extension: sharded KV service — group commit amortizes the per-commit fence (lib/svc)";
+  let shards = 4 and depth = 64 and keys = 2048 and clients = 48 in
+  let ops =
+    match !scale with
+    | Workload.Quick -> 2_000
+    | Workload.Small -> 8_000
+    | Workload.Full -> 24_000
+  in
+  let lg_cfg =
+    { Svc.Loadgen.clients; ops; read_frac = 0.5; skew = 0.9; seed = 42 }
+  in
+  let run_one batch_max =
+    let pm = Pmem.create ~seed:42 Pmem_config.default in
+    let heap = Heap.create pm in
+    let svc =
+      Svc.Service.create heap { Svc.Service.shards; batch_max; depth; keys }
+    in
+    let r = Svc.Loadgen.run svc lg_cfg in
+    record_svc (Svc.Loadgen.report_to_json r);
+    r
+  in
+  Printf.printf
+    "\nbatch-size sweep (%d shards, %d clients, depth %d, %d ops, 50%% \
+     reads, zipf 0.9):\n"
+    shards clients depth ops;
+  Printf.printf "%-6s %14s %10s %10s %10s %10s %10s\n" "batch" "fences/write"
+    "p50 ns" "p90 ns" "p99 ns" "ops/ms" "rejected";
+  let open Svc.Loadgen in
+  let reports =
+    List.map
+      (fun batch_max ->
+        let r = run_one batch_max in
+        let q p = Obs.Hist.quantile r.latency p in
+        Printf.printf "%-6d %14.3f %10d %10d %10d %10.1f %10d\n" batch_max
+          r.fences_per_write (q 0.5) (q 0.9) (q 0.99)
+          (List.fold_left (fun a s -> a +. s.sh_ops_per_ms) 0.0 r.shards)
+          r.rejected;
+        r)
+      [ 1; 2; 4; 8; 16 ]
+  in
+  let fpw = List.map (fun r -> r.fences_per_write) reports in
+  let monotone =
+    List.for_all2 (fun a b -> b <= a +. 1e-9) fpw (List.tl fpw @ [ 0.0 ])
+  in
+  Printf.printf
+    "shape: fences/write %s monotonically (%.3f -> %.3f over 1 -> 16; \
+     ideal 1/K)\n"
+    (if monotone then "falls" else "DOES NOT fall")
+    (List.hd fpw)
+    (List.nth fpw (List.length fpw - 1));
+  (* per-shard view at one operating point *)
+  let r8 = List.nth reports 3 in
+  Printf.printf "\nper-shard (batch_max 8):\n";
+  Printf.printf "%-6s %10s %10s %10s %10s %12s\n" "shard" "ops" "ops/ms"
+    "p99 ns" "rejected" "max inflight";
+  List.iter
+    (fun s ->
+      Printf.printf "%-6d %10d %10.1f %10d %10d %12d\n" s.sh_id s.sh_ops
+        s.sh_ops_per_ms
+        (Obs.Hist.quantile s.sh_latency 0.99)
+        s.sh_rejected s.sh_max_inflight)
+    r8.shards
 
 (* ---------- Bechamel wall-clock microbenches ---------- *)
 
@@ -949,6 +1037,7 @@ let all_experiments =
     ("sweeps", sweeps);
     ("recovery", recovery);
     ("recovery-sweep", recovery_sweep);
+    ("svc", svc);
     ("eadr", eadr);
     ("hotness", hotness);
     ("bechamel", bechamel);

@@ -127,15 +127,9 @@ let run_cmd =
   let run scheme wname scale seed reclaim recovery json =
     let w = get_workload wname in
     let sc = parse_scale scale in
-    let base =
-      match scheme with
-      | "SpecSPMT" -> Some Spec_soft.default_params
-      | "SpecSPMT-DP" -> Some Spec_soft.dp_params
-      | _ -> None
-    in
     let wants_override = reclaim <> None || recovery <> None in
     let m =
-      match base with
+      match spec_params_of_name scheme with
       | None when wants_override ->
           Fmt.epr
             "specpmt_run: --reclaim/--recovery only apply to the SpecSPMT \
@@ -146,7 +140,7 @@ let run_cmd =
             Option.get (spec_params_override ~reclaim ~recovery base)
           in
           Run.run_custom ~seed
-            ~make:(fun heap -> fst (Spec_soft.create heap params))
+            ~make:(fun heap -> create_scheme ~spec_params:params heap scheme)
             ~name:scheme w sc
       | _ -> Run.run ~seed ~scheme w sc
     in
@@ -403,9 +397,101 @@ let explore_cmd =
       const run $ scheme_arg $ seed_arg $ budget_arg $ cells_arg $ txs_arg
       $ max_writes_arg $ policies_arg $ fuse_arg $ choice_arg $ json_arg)
 
+let svc_bench_cmd =
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Service shards.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~doc:"Transactions per group-commit batch.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "depth" ] ~doc:"Per-shard admission (inflight) bound.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "mix" ] ~doc:"Read fraction of the operation mix (0..1).")
+  in
+  let skew_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "skew" ] ~doc:"Zipf theta of the key distribution (0 = uniform).")
+  in
+  let clients_arg =
+    Arg.(value & opt int 32 & info [ "clients" ] ~doc:"Closed-loop clients.")
+  in
+  let ops_arg =
+    Arg.(value & opt int 20_000 & info [ "ops" ] ~doc:"Operations to complete.")
+  in
+  let keys_arg =
+    Arg.(value & opt int 4096 & info [ "keys" ] ~doc:"KV table size.")
+  in
+  let run scheme shards batch depth mix skew clients ops keys seed reclaim
+      recovery json =
+    let base =
+      match spec_params_of_name scheme with
+      | Some p -> p
+      | None ->
+          Fmt.epr "specpmt_run: svc-bench needs a SpecSPMT scheme, not %S@."
+            scheme;
+          exit 2
+    in
+    let params =
+      Option.value ~default:base (spec_params_override ~reclaim ~recovery base)
+    in
+    Obs.Phase.reset ();
+    Obs.Metrics.reset_all ();
+    let pm =
+      Pmem.create ~seed { Pmem_config.default with mem_size = 64 * 1024 * 1024 }
+    in
+    let heap = Heap.create pm in
+    let svc =
+      Svc.Service.create ~params heap
+        { Svc.Service.shards; batch_max = batch; depth; keys }
+    in
+    let report =
+      Svc.Loadgen.run svc
+        { Svc.Loadgen.clients; ops; read_frac = mix; skew; seed }
+    in
+    Fmt.pr "%a" Svc.Loadgen.pp report;
+    Option.iter
+      (fun path ->
+        Json.to_file path
+          (Json.Obj
+             [
+               ("schema_version", Json.Int Run.schema_version);
+               ("generator", Json.Str "specpmt-svc");
+               ("scheme", Json.Str scheme);
+               ("report", Svc.Loadgen.report_to_json report);
+             ]);
+        Fmt.pr "wrote JSON report to %s@." path)
+      json
+  in
+  Cmd.v
+    (Cmd.info "svc-bench"
+       ~doc:
+         "Drive the sharded KV service (group commit + admission control) \
+          with the closed-loop load generator")
+    Term.(
+      const run $ scheme_arg $ shards_arg $ batch_arg $ depth_arg $ mix_arg
+      $ skew_arg $ clients_arg $ ops_arg $ keys_arg $ seed_arg $ reclaim_arg
+      $ recovery_arg $ json_arg)
+
 let () =
   let info = Cmd.info "specpmt_run" ~doc:"SpecPMT workload runner" in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; compare_cmd; crash_cmd; fuzz_cmd; explore_cmd ]))
+          [
+            list_cmd;
+            run_cmd;
+            compare_cmd;
+            crash_cmd;
+            fuzz_cmd;
+            explore_cmd;
+            svc_bench_cmd;
+          ]))

@@ -16,13 +16,30 @@ let name = function
 let of_name s =
   List.find_opt (fun k -> String.lowercase_ascii (name k) = String.lowercase_ascii s) all
 
-let create heap = function
+(* The SpecPMT schemes are the only ones with tunable runtime parameters
+   (reclamation policy, recovery mode...); [None] for everything else. *)
+let spec_params = function
+  | Spec -> Some Spec_soft.default_params
+  | Spec_dp -> Some Spec_soft.dp_params
+  | Raw | Pmdk | Kamino | Spht | Hashlog -> None
+
+let create ?spec_params:override heap k =
+  (match (override, spec_params k) with
+  | Some _, None ->
+      Fmt.invalid_arg "Registry.create: %s takes no SpecPMT params" (name k)
+  | _ -> ());
+  match k with
   | Raw -> Raw.create heap
   | Pmdk -> Pmdk_undo.create heap
   | Kamino -> Kamino.create heap
   | Spht -> Spht.create heap
-  | Spec_dp -> fst (Spec_soft.create heap Spec_soft.dp_params)
-  | Spec -> fst (Spec_soft.create heap Spec_soft.default_params)
+  | (Spec_dp | Spec) as k ->
+      let params =
+        match override with
+        | Some p -> p
+        | None -> Option.get (spec_params k)
+      in
+      fst (Spec_soft.create heap params)
   | Hashlog -> Spec_hashlog.create heap
 
 let _ = Ctx.raw_ctx (* re-exported convenience, keep the dep explicit *)

@@ -18,5 +18,14 @@ val all : kind list
 val name : kind -> string
 val of_name : string -> kind option
 
-val create : Heap.t -> kind -> Ctx.backend
-(** Instantiate a scheme on a freshly formatted pool. *)
+val spec_params : kind -> Spec_soft.params option
+(** The scheme's default SpecPMT runtime parameters, or [None] for
+    schemes that take none — the single source of truth for "is this a
+    parameterisable SpecPMT variant?" used by the CLI, the bench driver
+    and the service layer. *)
+
+val create : ?spec_params:Spec_soft.params -> Heap.t -> kind -> Ctx.backend
+(** Instantiate a scheme on a freshly formatted pool.  [spec_params]
+    overrides the defaults of the SpecPMT schemes (reclamation policy,
+    recovery mode, block size...); passing it for any other scheme raises
+    [Invalid_argument]. *)

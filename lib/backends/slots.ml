@@ -14,9 +14,17 @@ let spht_marker = 13
 let spec_head = 14
 let hashlog_table = 15
 
-(* per-thread speculative log heads for the multi-threaded runtime *)
-let spec_mt_head i =
-  if i < 0 || i > 2 then invalid_arg "Slots.spec_mt_head";
-  18 + i
 let hashlog_committed_ts = 16
 let hashlog_capacity = 17
+
+(* per-thread speculative log heads for the multi-threaded runtime: one
+   root slot per thread, everything from here to the end of the root
+   area — the thread cap is the slot budget, not a hard-coded 3 *)
+let spec_mt_first = 18
+
+let spec_mt_max_threads =
+  Specpmt_pmalloc.Layout.root_slot_count - spec_mt_first
+
+let spec_mt_head i =
+  if i < 0 || i >= spec_mt_max_threads then invalid_arg "Slots.spec_mt_head";
+  spec_mt_first + i

@@ -14,6 +14,13 @@ val hashlog_table : int
 val hashlog_committed_ts : int
 val hashlog_capacity : int
 
+val spec_mt_first : int
+(** First root slot of the per-thread speculative log heads. *)
+
+val spec_mt_max_threads : int
+(** Threads the root area can host: every slot from {!spec_mt_first} to
+    the end of the root area holds one per-thread log head. *)
+
 val spec_mt_head : int -> int
 (** Per-thread speculative log heads of the multi-threaded runtime
-    (0..2). *)
+    (0..[spec_mt_max_threads - 1]). *)

@@ -12,10 +12,11 @@ type t = {
 }
 
 let head_slot i = Slots.spec_mt_head i
+let max_threads = Slots.spec_mt_max_threads
 
 let create ?(params = Spec_soft.default_params) heap ~threads =
-  if threads < 1 || threads > 3 then
-    invalid_arg "Spec_mt.create: 1-3 threads";
+  if threads < 1 || threads > max_threads then
+    Fmt.invalid_arg "Spec_mt.create: 1-%d threads" max_threads;
   let tsc = Tsc.create () in
   let pairs =
     Array.init threads (fun i ->

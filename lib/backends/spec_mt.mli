@@ -20,8 +20,12 @@ open Specpmt_txn
 
 type t
 
+val max_threads : int
+(** Largest thread count {!create} accepts — one reserved root slot per
+    thread ({!Specpmt_backends.Slots.spec_mt_max_threads}). *)
+
 val create : ?params:Spec_soft.params -> Heap.t -> threads:int -> t
-(** Up to 3 threads (limited by reserved root slots). *)
+(** Up to {!max_threads} threads (one reserved root slot each). *)
 
 val thread : t -> int -> Ctx.backend
 (** The transactional interface of one thread. *)

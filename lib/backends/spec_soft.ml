@@ -58,6 +58,10 @@ type t = {
          (frees are deferred; allocs must be compensated) *)
   mutable arena : Log_arena.t;
   mutable in_tx : bool;
+  mutable in_batch : bool;
+      (* group commit open: transactions commit tentative (poisoned
+         checksum, no fence) records until [batch_end] seals the whole
+         batch under a single fence *)
   mutable reclaims : int;
   mutable last_compact_footprint : int;
       (* growth-based trigger: reclaiming again before the log has grown
@@ -70,6 +74,7 @@ type t = {
          adaptive policy's duty-cycle budget *)
 }
 
+let params t = t.params
 let live_cells t = Hashtbl.length t.vindex
 let stale_entries t = Log_arena.total_entries t.arena - live_cells t
 
@@ -320,7 +325,7 @@ let commit t =
   if Log_arena.entry_words t.arena = 0 then Log_arena.abandon_record t.arena
   else begin
     let ts = Tsc.next t.tsc in
-    Log_arena.commit_record t.arena ~timestamp:ts;
+    Log_arena.commit_record t.arena ~tentative:t.in_batch ~timestamp:ts;
     index_commit t ts
   end;
   if t.params.data_persist then begin
@@ -334,7 +339,9 @@ let commit t =
   t.allocs <- [];
   Write_set.clear t.ws;
   t.in_tx <- false;
-  maybe_reclaim t
+  (* reclamation would rewrite the chain out from under the unsealed
+     records; during a batch it is deferred to [batch_end] *)
+  if not t.in_batch then maybe_reclaim t
 
 (* Abort: restore the in-place (still volatile) updates from the write
    set, freshen the log entries to the restored values, and commit the
@@ -349,7 +356,7 @@ let rollback t =
   if Log_arena.entry_words t.arena = 0 then Log_arena.abandon_record t.arena
   else begin
     let ts = Tsc.next t.tsc in
-    Log_arena.commit_record t.arena ~timestamp:ts;
+    Log_arena.commit_record t.arena ~tentative:t.in_batch ~timestamp:ts;
     index_commit t ts
   end;
   (* compensate the aborted transaction's allocations: its deferred frees
@@ -383,6 +390,36 @@ let run_tx t f =
   | exception Ctx.Abort ->
       rollback t;
       raise Ctx.Abort
+
+(* ---------- Group commit ---------- *)
+
+(* Between [batch_begin] and [batch_end] every transaction commits a
+   tentative record: checksum deliberately poisoned, no flush, no fence.
+   [batch_end] patches the true checksums and persists the entire batch
+   with one flush run and a single fence — K transactions share the one
+   ordering point SpecPMT has left, so the per-transaction fence cost
+   tends to 1/K.  A crash before the seal makes the whole batch invisible
+   (the valid-prefix scan stops at the first poisoned checksum); a crash
+   inside the seal durably commits a prefix of the batch in order. *)
+
+let in_batch t = t.in_batch
+
+let batch_begin t =
+  if t.in_tx then invalid_arg "Spec_soft.batch_begin: open transaction";
+  if t.in_batch then invalid_arg "Spec_soft.batch_begin: batch already open";
+  if t.params.data_persist then
+    invalid_arg
+      "Spec_soft.batch_begin: data-persist mode fences per transaction";
+  t.in_batch <- true
+
+let batch_end t =
+  if not t.in_batch then invalid_arg "Spec_soft.batch_end: no open batch";
+  if t.in_tx then invalid_arg "Spec_soft.batch_end: open transaction";
+  t.in_batch <- false;
+  let sealed = Log_arena.seal_tentative t.arena in
+  (* reclamation was deferred while records were unsealed *)
+  maybe_reclaim t;
+  sealed
 
 (* ---------- Recovery ---------- *)
 
@@ -465,6 +502,7 @@ let recover t =
   t.allocs <- [] (* likewise its allocations: Heap.recover owns the walk *);
   Write_set.clear t.ws;
   t.in_tx <- false;
+  t.in_batch <- false (* an unsealed batch died with the crash *);
   Metrics.incr (Metrics.counter "recover.cycles");
   Metrics.add (Metrics.counter "recover.cells_restored")
     (Hashtbl.length restored);
@@ -481,7 +519,8 @@ let reattach t =
   t.frees <- [];
   t.allocs <- [];
   Write_set.clear t.ws;
-  t.in_tx <- false
+  t.in_tx <- false;
+  t.in_batch <- false
 
 let snapshot_region t addr len =
   assert (Addr.is_word_aligned addr && len mod 8 = 0);
@@ -505,6 +544,7 @@ let snapshot_region t addr len =
    on the same pool from then on. *)
 let switch_out t =
   if t.in_tx then invalid_arg "Spec_soft.switch_out: open transaction";
+  if t.in_batch then invalid_arg "Spec_soft.switch_out: open batch";
   (* 1: persist every datum with a live record *)
   let touched = live_cells t in
   Hashtbl.iter (fun a _ -> Pmem.clwb t.pm a) t.vindex;
@@ -536,6 +576,7 @@ let create ?(head_slot = Slots.spec_head) ?tsc heap params =
         Log_arena.create heap ~head_slot
           ~block_bytes:params.block_bytes;
       in_tx = false;
+      in_batch = false;
       reclaims = 0;
       last_compact_footprint = params.block_bytes;
       vindex = Hashtbl.create 256;

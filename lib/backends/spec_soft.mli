@@ -91,12 +91,42 @@ type t
     live-entry index and reclamation state.  Obtained from {!create}
     alongside the generic backend record. *)
 
+val params : t -> params
+(** The parameters this runtime was created with. *)
+
 val create :
   ?head_slot:int -> ?tsc:Specpmt_txn.Tsc.t -> Heap.t -> params -> Ctx.backend * t
 (** Fresh runtime on a formatted pool.  [head_slot] selects the root slot
     of this thread's log head; [tsc] shares a timestamp counter between
     the per-thread runtimes of a multi-threaded pool (the stand-in for
     rdtscp, Section 4.1). *)
+
+(** {1 Group commit}
+
+    Batching K transactions' records under one flush run + fence
+    amortizes the single ordering point a SpecPMT commit has left: the
+    per-transaction fence cost tends to 1/K.  Between {!batch_begin} and
+    {!batch_end} every commit appends a {e tentative} record — checksum
+    deliberately poisoned, nothing flushed or fenced — so a crash before
+    the seal leaves the whole batch invisible to recovery no matter what
+    the cache evicted.  {!batch_end} patches the true checksums and
+    persists the batch with one flush run and a single fence; a crash
+    inside the seal durably commits a prefix of the batch in order (the
+    valid-prefix scan stops at the first still-poisoned checksum). *)
+
+val batch_begin : t -> unit
+(** Open a group-commit batch.  Must be called between transactions; at
+    most one batch may be open; rejected in [data_persist] mode, which
+    by definition fences each transaction's data individually. *)
+
+val batch_end : t -> int
+(** Seal the open batch (see above); returns the number of records made
+    durable (read-only transactions contribute none).  Must be called
+    between transactions.  Reclamation deferred during the batch may run
+    here. *)
+
+val in_batch : t -> bool
+(** Whether a group-commit batch is open. *)
 
 val snapshot_region : t -> Addr.t -> int -> unit
 (** Crash-consistent adoption of external data (Section 4.3.2): one

@@ -24,6 +24,8 @@
     - {!Workload}: the STAMP port,
     - {!Run}: the measurement harness behind all figures,
     - {!Crashmc}: the deterministic crash-state exploration engine,
+    - {!Svc}: the sharded KV service layer (group commit, admission,
+      load generation),
     - {!Obs}: metrics, phase attribution, tracing and the JSON reports. *)
 
 module Pmem = Specpmt_pmem.Pmem
@@ -44,6 +46,7 @@ module Hwconfig = Specpmt_hwsim.Hwconfig
 module Workload = Specpmt_stamp.Workload
 module Profile = Specpmt_stamp.Profile
 module Crashmc = Specpmt_crashmc.Crashmc
+module Svc = Specpmt_svc
 module Obs = Specpmt_obs
 module Json = Specpmt_obs.Json
 
@@ -53,14 +56,27 @@ let scheme_names =
   @ List.map Hw_schemes.name Hw_schemes.all
 
 (** Instantiate a scheme (software or simulated-hardware) by name on a
-    formatted pool.  Raises [Invalid_argument] on unknown names. *)
-let create_scheme heap name =
+    formatted pool.  [spec_params] overrides the SpecPMT schemes'
+    runtime parameters (rejected for any other scheme).  Raises
+    [Invalid_argument] on unknown names. *)
+let create_scheme ?spec_params heap name =
   match Schemes.of_name name with
-  | Some k -> Schemes.create heap k
+  | Some k -> Schemes.create ?spec_params heap k
   | None -> (
       match Hw_schemes.of_name name with
-      | Some k -> Hw_schemes.create heap k
+      | Some k ->
+          (match spec_params with
+          | Some _ ->
+              Fmt.invalid_arg "scheme %S takes no SpecPMT params" name
+          | None -> ());
+          Hw_schemes.create heap k
       | None -> Fmt.invalid_arg "unknown scheme %S" name)
+
+(** The scheme's default SpecPMT runtime parameters ([None] for unknown
+    names and non-SpecPMT schemes) — the one lookup the CLI and the bench
+    driver share instead of each keeping a name table. *)
+let spec_params_of_name name =
+  Option.bind (Schemes.of_name name) Schemes.spec_params
 
 module Run = struct
   (** One workload x scheme measurement — the raw material of every

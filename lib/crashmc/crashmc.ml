@@ -110,12 +110,19 @@ type instance = {
          multi-thread target uses it to spread transactions round-robin
          over its threads *)
   recover : unit -> unit;
+  acked : (unit -> int) option;
+      (* group-commit targets: transactions whose durability the target
+         has acknowledged (their batch's seal fence retired).  A crash
+         may then legally recover to any state between [acked] and
+         [committed + 1] — unsealed transactions returned from [run_tx]
+         without being durable yet.  [None] for per-transaction-fence
+         targets, where [committed] is the floor. *)
 }
 
 type target = { t_name : string; make : Heap.t -> total_txs:int -> instance }
 
 let of_backend (b : Ctx.backend) =
-  { run_tx = (fun _ f -> b.Ctx.run_tx f); recover = b.Ctx.recover }
+  { run_tx = (fun _ f -> b.Ctx.run_tx f); recover = b.Ctx.recover; acked = None }
 
 (* Small log geometry for the SpecPMT variants: with the default 4 KiB
    blocks and 1 MiB threshold, a workload small enough to explore
@@ -130,26 +137,20 @@ let mc_params ~data_persist =
   }
 
 let sw_target k =
-  match k with
-  | Registry.Spec ->
-      {
-        t_name = Registry.name k;
-        make =
-          (fun heap ~total_txs:_ ->
-            of_backend (fst (Spec_soft.create heap (mc_params ~data_persist:false))));
-      }
-  | Registry.Spec_dp ->
-      {
-        t_name = Registry.name k;
-        make =
-          (fun heap ~total_txs:_ ->
-            of_backend (fst (Spec_soft.create heap (mc_params ~data_persist:true))));
-      }
-  | _ ->
-      {
-        t_name = Registry.name k;
-        make = (fun heap ~total_txs:_ -> of_backend (Registry.create heap k));
-      }
+  (* SpecPMT variants get the small exploration geometry; the registry
+     knows which ones those are *)
+  let spec_params =
+    Option.map
+      (fun (p : Spec_soft.params) ->
+        mc_params ~data_persist:p.Spec_soft.data_persist)
+      (Registry.spec_params k)
+  in
+  {
+    t_name = Registry.name k;
+    make =
+      (fun heap ~total_txs:_ ->
+        of_backend (Registry.create ?spec_params heap k));
+  }
 
 (* Differential oracle: the same workload audited under the legacy
    replay-every-record recovery.  A divergence between this target and
@@ -203,6 +204,46 @@ let mt_target =
           run_tx =
             (fun i f -> (Spec_mt.thread mt (i mod Spec_mt.threads mt)).Ctx.run_tx f);
           recover = (fun () -> Spec_mt.recover mt);
+          acked = None;
+        });
+  }
+
+(* Group commit (the service layer's batched path): transactions commit
+   tentative records (poisoned checksum, no fence) and every
+   [batch_max]-th transaction seals the batch under one flush run + one
+   fence.  The adoption transaction (index 0) seals alone — until a cell
+   has a {e sealed} record, a torn in-place store to it is irrevocable —
+   exactly as the service layer adopts its key table outside any batch.
+   The [acked] hook tells the auditor the durable floor: a crash may
+   recover to any state from the last seal up to [committed + 1]
+   (unsealed transactions executed but were never acknowledged). *)
+let batched_target =
+  let batch_max = 3 in
+  {
+    t_name = "SpecSPMT-batched";
+    make =
+      (fun heap ~total_txs ->
+        let b, rt = Spec_soft.create heap (mc_params ~data_persist:false) in
+        let acked = ref 0 and open_txs = ref 0 in
+        {
+          run_tx =
+            (fun i f ->
+              if not (Spec_soft.in_batch rt) then Spec_soft.batch_begin rt;
+              b.Ctx.run_tx f;
+              incr open_txs;
+              if i = 0 || !open_txs >= batch_max || i = total_txs - 1
+              then begin
+                ignore (Spec_soft.batch_end rt);
+                (* the seal fence retired: everything in the batch is
+                   durable and can be acknowledged *)
+                acked := !acked + !open_txs;
+                open_txs := 0
+              end);
+          recover =
+            (fun () ->
+              b.Ctx.recover ();
+              open_txs := 0);
+          acked = Some (fun () -> !acked);
         });
   }
 
@@ -240,6 +281,7 @@ let switch_target =
                  is empty and PMDK's rollback is the no-op instead *)
               spec_b.Ctx.recover ();
               pmdk.Ctx.recover ());
+          acked = None;
         });
   }
 
@@ -269,7 +311,8 @@ let recoverable_hw =
 
 let targets () =
   List.map sw_target (Lazy.force recoverable_sw)
-  @ [ replay_target; adaptive_target; mt_target; switch_target ]
+  @ [ replay_target; adaptive_target; mt_target; switch_target;
+      batched_target ]
   @ List.map hw_target (Lazy.force recoverable_hw)
 
 let target_names () = List.map (fun t -> t.t_name) (targets ())
@@ -331,10 +374,19 @@ let run_workload pm inst ~base program ~fuse =
 
 (* Atomic durability: the recovered cells must match the reference after
    [committed] or [committed + 1] transactions (the +1 covers a crash
-   after the commit point but before control returned). *)
-let audit states committed got =
-  got = states.(committed)
-  || (committed + 1 < Array.length states && got = states.(committed + 1))
+   after the commit point but before control returned).  A group-commit
+   target supplies [floor], the count of {e acknowledged} transactions:
+   executed-but-unsealed transactions may legally vanish at a crash, and
+   a crash inside the seal durably commits any prefix of the batch, so
+   the recovered state may match any reference state from [floor] to
+   [committed + 1] — never an out-of-order or torn one. *)
+let audit ?floor states committed got =
+  let hi = min (committed + 1) (Array.length states - 1) in
+  let lo =
+    match floor with None -> committed | Some f -> min f committed
+  in
+  let rec check j = j <= hi && (got = states.(j) || check (j + 1)) in
+  check lo
 
 (* ------------------------------------------------------------------ *)
 (* One case                                                            *)
@@ -369,12 +421,16 @@ let run_case tgt ~seed ~cells ~program ~states ~fuse ~choice =
         let got =
           Array.init cells (fun i -> Pmem.peek_volatile_int pm (base + (i * 8)))
         in
+        (* the volatile ack counter survives the simulated crash — read
+           it after recovery, exactly like a client that kept its own
+           record of which requests were acknowledged *)
+        let floor = Option.map (fun f -> f ()) inst.acked in
         Some
           {
             c_committed = committed;
             c_dirty_lines;
             c_dirty_words;
-            c_ok = audit states committed got;
+            c_ok = audit ?floor states committed got;
             c_error = None;
             c_got = got;
           }

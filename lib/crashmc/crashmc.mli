@@ -28,18 +28,24 @@
     Failures carry the recent {!Specpmt_obs.Trace} events.
 
     Explorable schemes are every recoverable registered backend
-    (software and simulated hardware), plus four composite targets that
+    (software and simulated hardware), plus five composite targets that
     only exist here: ["SpecSPMT-replay"], the default scheme under the
     legacy replay-every-record recovery (the differential oracle for the
     coalescing recovery path); ["SpecSPMT-adaptive"], with aggressive
     adaptive-reclamation knobs so the index-driven prefix evacuation
     fires inside the explored window; ["SpecSPMT-MT"], the 3-thread
     runtime with per-thread logs recovered in global timestamp order
-    (Section 5.2.2); and ["SpecSPMT+switch"], which switches out of
-    speculative logging to PMDK-style undo mid-workload (Section 4.3.1).
-    The SpecPMT variants run with a deliberately small log geometry
-    (256-byte blocks, 512-byte reclamation threshold) so block chaining
-    and log compaction fall inside the explored window. *)
+    (Section 5.2.2); ["SpecSPMT+switch"], which switches out of
+    speculative logging to PMDK-style undo mid-workload (Section 4.3.1);
+    and ["SpecSPMT-batched"], the service layer's group-commit path —
+    transactions commit tentative (poisoned-checksum, unfenced) records
+    sealed in batches under a single fence, and the audit accepts any
+    reference state between the last acknowledged (sealed) transaction
+    and [committed + 1], since executed-but-unsealed transactions may
+    legally vanish and a crash inside a seal commits a prefix of the
+    batch.  The SpecPMT variants run with a deliberately small log
+    geometry (256-byte blocks, 512-byte reclamation threshold) so block
+    chaining and log compaction fall inside the explored window. *)
 
 (** {1 Persist choices} *)
 

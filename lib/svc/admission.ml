@@ -1,0 +1,66 @@
+(* Bounded admission per shard: a request is admitted iff the shard's
+   inflight count (accepted but not yet acknowledged — queued plus
+   executing) is below the depth limit.  Overload is shed at the door
+   with a retry hint instead of growing the queue without bound. *)
+
+type 'a t = {
+  depth : int;
+  q : 'a Queue.t;
+  mutable inflight : int;
+  mutable accepted : int;
+  mutable rejected : int;
+  mutable acked : int;
+  mutable max_inflight : int;
+}
+
+type verdict = Accepted | Rejected of { queued : int }
+
+let create ~depth =
+  if depth < 1 then invalid_arg "Admission.create: depth < 1";
+  {
+    depth;
+    q = Queue.create ();
+    inflight = 0;
+    accepted = 0;
+    rejected = 0;
+    acked = 0;
+    max_inflight = 0;
+  }
+
+let offer t x =
+  if t.inflight >= t.depth then begin
+    t.rejected <- t.rejected + 1;
+    Rejected { queued = Queue.length t.q }
+  end
+  else begin
+    Queue.add x t.q;
+    t.inflight <- t.inflight + 1;
+    t.accepted <- t.accepted + 1;
+    if t.inflight > t.max_inflight then t.max_inflight <- t.inflight;
+    Accepted
+  end
+
+let take_up_to t n =
+  let rec go acc k =
+    if k = 0 || Queue.is_empty t.q then List.rev acc
+    else go (Queue.pop t.q :: acc) (k - 1)
+  in
+  go [] n
+
+(* acknowledged only once their batch's fence has retired *)
+let ack t n =
+  assert (n >= 0 && n <= t.inflight);
+  t.inflight <- t.inflight - n;
+  t.acked <- t.acked + n
+
+let queued t = Queue.length t.q
+let inflight t = t.inflight
+let accepted t = t.accepted
+let rejected t = t.rejected
+let acked t = t.acked
+let max_inflight t = t.max_inflight
+
+(* post-crash: queued and executing requests died unacknowledged *)
+let clear t =
+  Queue.clear t.q;
+  t.inflight <- 0

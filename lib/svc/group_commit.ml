@@ -1,0 +1,63 @@
+open Specpmt_backends
+open Specpmt_txn
+module Metrics = Specpmt_obs.Metrics
+
+(* Per-shard group commit: execute a batch of queued transactions
+   back-to-back as tentative commits (poisoned checksums, no fences),
+   then seal the whole batch with one flush run and a single fence
+   (Spec_soft.batch_end).  K batched transactions share one ordering
+   point, so fences/txn tends to 1/K.
+
+   Data-persist runtimes fence each transaction's data individually by
+   definition, so for them the batcher degrades to plain sequential
+   commits. *)
+
+type t = {
+  backend : Ctx.backend;
+  rt : Spec_soft.t;
+  batching : bool;
+  mutable sealing : bool;
+      (* true exactly while [batch_end] runs — a crash observed with
+         [sealing] set may have durably committed any prefix of the
+         batch; outside it the batch boundary is exact *)
+  mutable batches : int;
+  mutable sealed : int;
+}
+
+let batch_size_hist = lazy (Metrics.histogram "svc.batch_size")
+
+let create ~backend ~rt =
+  {
+    backend;
+    rt;
+    batching = not (Spec_soft.params rt).Spec_soft.data_persist;
+    sealing = false;
+    batches = 0;
+    sealed = 0;
+  }
+
+let run t jobs =
+  match jobs with
+  | [] -> ()
+  | jobs ->
+      let n = List.length jobs in
+      if t.batching then begin
+        Spec_soft.batch_begin t.rt;
+        List.iter (fun f -> t.backend.Ctx.run_tx f) jobs;
+        t.sealing <- true;
+        let sealed = Spec_soft.batch_end t.rt in
+        t.sealing <- false;
+        t.sealed <- t.sealed + sealed
+      end
+      else List.iter (fun f -> t.backend.Ctx.run_tx f) jobs;
+      t.batches <- t.batches + 1;
+      Specpmt_obs.Hist.observe (Lazy.force batch_size_hist) n;
+      Metrics.incr (Metrics.counter "svc.batches")
+
+let sealing t = t.sealing
+let batches t = t.batches
+let sealed_records t = t.sealed
+let backend t = t.backend
+
+(* post-crash: the interrupted seal (if any) is over *)
+let reset t = t.sealing <- false

@@ -1,0 +1,45 @@
+(** Per-shard group commit (tentpole component (b)).
+
+    Executes a batch of queued transactions back-to-back under
+    {!Specpmt_backends.Spec_soft.batch_begin}/[batch_end]: each commit
+    appends a tentative (poisoned-checksum, unfenced) record, and the
+    seal persists the whole batch with one flush run and a single fence.
+    K batched transactions share SpecPMT's one remaining ordering point,
+    so fences per transaction tend to 1/K.
+
+    At a crash the batch is all-or-prefix: before the seal nothing is
+    visible to recovery; inside the seal the records become durable in
+    append order and the valid-prefix scan stops at the first
+    still-poisoned checksum — recovery itself needs no changes.
+
+    Data-persist runtimes fence per transaction by definition, so the
+    batcher degrades to plain sequential commits for them. *)
+
+open Specpmt_backends
+open Specpmt_txn
+
+type t
+
+val create : backend:Ctx.backend -> rt:Spec_soft.t -> t
+(** Batcher over one shard's backend/runtime pair. *)
+
+val run : t -> (Ctx.ctx -> unit) list -> unit
+(** Execute the jobs as one batch and seal it ([[]] is a no-op).
+    Observes the batch size into the [svc.batch_size] histogram and
+    bumps the [svc.batches] counter. *)
+
+val sealing : t -> bool
+(** True exactly while the seal of a batch is running — a crash observed
+    with this set may have durably committed any prefix of that batch;
+    otherwise the acknowledged/unacknowledged boundary is exact. *)
+
+val batches : t -> int
+(** Batches executed. *)
+
+val sealed_records : t -> int
+(** Records made durable by seals (read-only transactions add none). *)
+
+val backend : t -> Ctx.backend
+
+val reset : t -> unit
+(** Post-crash: clear the sealing flag (the interrupted seal is over). *)

@@ -1,0 +1,64 @@
+(** Deterministic closed-loop load generator (tentpole component (d)).
+
+    [clients] simulated clients each keep at most one request
+    outstanding: generate (Zipf-skewed key, read/write coin), submit,
+    wait for the acknowledgement, repeat — a client whose request was
+    shed holds it and retries after the next drain.  Per-op latency
+    (admission to fence retirement, simulated ns) feeds
+    {!Specpmt_obs.Hist}; the report carries p50/p90/p99 and throughput
+    per shard.  Every write carries a unique value so crash audits can
+    attribute cell states to the op that produced them. *)
+
+type config = {
+  clients : int;
+  ops : int;  (** total operations to complete *)
+  read_frac : float;  (** probability an op is a read *)
+  skew : float;  (** Zipf theta; [<= 0] is uniform *)
+  seed : int;
+}
+
+val zipf_sampler : n:int -> theta:float -> Random.State.t -> unit -> int
+(** Inverse-CDF Zipf over [0, n) (uniform when [theta <= 0]); the
+    cumulative table is built once, each draw is O(log n). *)
+
+type shard_report = {
+  sh_id : int;
+  sh_ops : int;
+  sh_rejected : int;
+  sh_batches : int;
+  sh_sealed : int;
+  sh_max_inflight : int;
+  sh_latency : Specpmt_obs.Hist.snapshot;
+  sh_ops_per_ms : float;
+}
+
+type report = {
+  r_config : config;
+  svc_config : Service.config;
+  span_ns : float;  (** simulated time of the measured run *)
+  total_ops : int;
+  reads : int;
+  writes : int;
+  rejected : int;  (** admission sheds (service-side) *)
+  retries : int;  (** client-side resubmissions after a shed *)
+  batches : int;
+  sealed_records : int;
+  fences : int;
+  fences_per_write : float;
+      (** the group-commit amortisation metric: tends to 1/batch_max *)
+  latency : Specpmt_obs.Hist.snapshot;
+  shards : shard_report list;
+}
+
+val run : Service.t -> config -> report
+(** Drive the service to [ops] completed operations.  Measurement
+    starts at the call (service setup/adoption excluded); also sets the
+    [svc.fences_per_txn] gauge. *)
+
+val report_to_json : report -> Specpmt_obs.Json.t
+(** One object: config echo, totals, fences/write, global latency
+    histogram (with p50/p90/p99) and a [per_shard] list with ops,
+    throughput and latency per shard. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable summary (the [svc-bench] output). *)

@@ -1,0 +1,231 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_backends
+module Metrics = Specpmt_obs.Metrics
+
+(* The sharded KV service: a router hashing keys to shards, each shard
+   owning one Spec_soft runtime (one per-thread log of the multi-threaded
+   pool), a bounded admission queue and a group-commit batcher.  The
+   store itself is a flat table of [keys] 8-byte cells in the persistent
+   heap; key [k] lives at [base + 8k] and is owned by exactly one shard
+   (shard-of-key hashing), so shards never contend on a cell and the
+   per-thread logs stay disjoint. *)
+
+type op = Read | Write of int
+
+type request = {
+  client : int;
+  key : int;
+  op : op;
+  enq_ns : float;  (** simulated time at admission *)
+}
+
+type completion = {
+  c_client : int;
+  c_shard : int;
+  c_key : int;
+  c_op : op;
+  value : int;  (** value read, or value written *)
+  c_enq_ns : float;
+  ack_ns : float;  (** simulated time when the commit fence retired *)
+}
+
+type config = {
+  shards : int;
+  batch_max : int;  (** transactions per group-commit batch *)
+  depth : int;  (** per-shard admission (inflight) bound *)
+  keys : int;
+}
+
+type shard = {
+  id : int;
+  adm : request Admission.t;
+  gc : Group_commit.t;
+  lat : Specpmt_obs.Hist.t;  (** per-op latency, simulated ns *)
+  mutable ops : int;
+}
+
+type t = {
+  pm : Pmem.t;
+  heap : Heap.t;
+  cfg : config;
+  pool : Spec_mt.t;
+  base : Addr.t;
+  shard_tbl : shard array;
+}
+
+(* multiplicative hash (Knuth's 2^32 ratio) — keeps 63-bit OCaml ints in
+   range and spreads consecutive keys across shards *)
+let shard_of_key t k = k * 2654435761 lsr 13 mod t.cfg.shards
+let key_addr t k = t.base + (k * 8)
+
+let queue_depth_gauge = lazy (Metrics.gauge "svc.queue_depth")
+let rejected_counter = lazy (Metrics.counter "svc.rejected")
+
+let create ?params heap cfg =
+  if cfg.shards < 1 || cfg.shards > Spec_mt.max_threads then
+    Fmt.invalid_arg "Service.create: 1-%d shards" Spec_mt.max_threads;
+  if cfg.batch_max < 1 then invalid_arg "Service.create: batch_max < 1";
+  if cfg.keys < 1 then invalid_arg "Service.create: keys < 1";
+  let pool = Spec_mt.create ?params heap ~threads:cfg.shards in
+  let base = Heap.alloc heap (cfg.keys * 8) in
+  let t =
+    {
+      pm = Heap.pmem heap;
+      heap;
+      cfg;
+      pool;
+      base;
+      shard_tbl =
+        Array.init cfg.shards (fun id ->
+            {
+              id;
+              adm = Admission.create ~depth:cfg.depth;
+              gc =
+                Group_commit.create
+                  ~backend:(Spec_mt.thread pool id)
+                  ~rt:(Spec_mt.runtime pool id);
+              lat = Specpmt_obs.Hist.create ();
+              ops = 0;
+            });
+    }
+  in
+  (* Adoption (Section 4.3.2): a cell must be logged once before
+     speculative logging can revoke an uncommitted in-place update to
+     it.  One committed transaction per shard writes 0 to every key it
+     owns — without this, a crash during the first ever write to a key
+     would leave a torn value recovery cannot revert. *)
+  Array.iter
+    (fun s ->
+      let owned = ref [] in
+      for k = cfg.keys - 1 downto 0 do
+        if shard_of_key t k = s.id then owned := k :: !owned
+      done;
+      match !owned with
+      | [] -> ()
+      | owned ->
+          (Spec_mt.thread pool s.id).Specpmt_txn.Ctx.run_tx (fun ctx ->
+              List.iter (fun k -> ctx.Specpmt_txn.Ctx.write (key_addr t k) 0)
+                owned))
+    t.shard_tbl;
+  t
+
+let config t = t.cfg
+let pm t = t.pm
+let now t = (Pmem.stats t.pm).Stats.ns
+
+let submit t ~client ~key op =
+  if key < 0 || key >= t.cfg.keys then invalid_arg "Service.submit: bad key";
+  let s = t.shard_tbl.(shard_of_key t key) in
+  let v = Admission.offer s.adm { client; key; op; enq_ns = now t } in
+  (match v with
+  | Admission.Rejected _ -> Metrics.incr (Lazy.force rejected_counter)
+  | Admission.Accepted -> ());
+  v
+
+(* Execute one batch on shard [s]: every request becomes one transaction
+   (reads abandon their empty record and cost no fence), the batcher
+   seals them under a single fence, and only then are the requests
+   acknowledged — an ack therefore always names a durable op. *)
+let exec_batch t s reqs =
+  match reqs with
+  | [] -> []
+  | reqs ->
+      let n = List.length reqs in
+      let results = Array.make n 0 in
+      let jobs =
+        List.mapi
+          (fun i r ctx ->
+            let a = key_addr t r.key in
+            match r.op with
+            | Write v ->
+                ctx.Specpmt_txn.Ctx.write a v;
+                results.(i) <- v
+            | Read -> results.(i) <- ctx.Specpmt_txn.Ctx.read a)
+          reqs
+      in
+      Group_commit.run s.gc jobs;
+      Admission.ack s.adm n;
+      let t_ack = now t in
+      List.mapi
+        (fun i r ->
+          s.ops <- s.ops + 1;
+          Specpmt_obs.Hist.observe s.lat
+            (int_of_float (t_ack -. r.enq_ns));
+          {
+            c_client = r.client;
+            c_shard = s.id;
+            c_key = r.key;
+            c_op = r.op;
+            value = results.(i);
+            c_enq_ns = r.enq_ns;
+            ack_ns = t_ack;
+          })
+        reqs
+
+let drain ?(on_ack = fun (_ : completion) -> ()) t =
+  let acc = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iter
+      (fun s ->
+        Metrics.set_gauge (Lazy.force queue_depth_gauge)
+          (float_of_int (Admission.queued s.adm));
+        match Admission.take_up_to s.adm t.cfg.batch_max with
+        | [] -> ()
+        | reqs ->
+            progress := true;
+            (* acks fire per batch, right after its fence: a crash later
+               in the same drain must not lose already-durable acks *)
+            List.iter
+              (fun c ->
+                on_ack c;
+                acc := c :: !acc)
+              (exec_batch t s reqs))
+      t.shard_tbl
+  done;
+  List.rev !acc
+
+let recover t =
+  Spec_mt.recover t.pool;
+  Array.iter
+    (fun s ->
+      Admission.clear s.adm;
+      Group_commit.reset s.gc)
+    t.shard_tbl
+
+let peek t k =
+  if k < 0 || k >= t.cfg.keys then invalid_arg "Service.peek: bad key";
+  Pmem.peek_volatile_int t.pm (key_addr t k)
+
+let sealing t i = Group_commit.sealing t.shard_tbl.(i).gc
+
+type shard_stats = {
+  s_id : int;
+  s_ops : int;
+  s_accepted : int;
+  s_rejected : int;
+  s_acked : int;
+  s_max_inflight : int;
+  s_batches : int;
+  s_sealed : int;
+  s_latency : Specpmt_obs.Hist.snapshot;
+}
+
+let shard_stats t i =
+  let s = t.shard_tbl.(i) in
+  {
+    s_id = s.id;
+    s_ops = s.ops;
+    s_accepted = Admission.accepted s.adm;
+    s_rejected = Admission.rejected s.adm;
+    s_acked = Admission.acked s.adm;
+    s_max_inflight = Admission.max_inflight s.adm;
+    s_batches = Group_commit.batches s.gc;
+    s_sealed = Group_commit.sealed_records s.gc;
+    s_latency = Specpmt_obs.Hist.snapshot s.lat;
+  }
+
+let rejected t =
+  Array.fold_left (fun n s -> n + Admission.rejected s.adm) 0 t.shard_tbl

@@ -54,6 +54,12 @@ type t = {
       (* block-header next pointers written since the last commit; they must
          persist with the next committed record for the chain to be
          followable after a crash *)
+  mutable tentative : (Addr.t * int * (Addr.t * Addr.t) list) list;
+      (* group commit: records committed with a deliberately poisoned
+         checksum, newest first — (metadata address, true checksum, record
+         spans).  Invisible to every scan until [seal_tentative] patches
+         the checksums and persists the whole batch under one flush run
+         and a single fence. *)
   (* volatile accounting for the adaptive reclamation scheduler: entry
      populations per block and which blocks start on a record boundary
      (only those are legal prefix-evacuation splice points — a scan must
@@ -108,6 +114,7 @@ let mk heap ~head_slot ~block_bytes b =
     segs = [];
     seg_start = -1;
     pending_spans = [];
+    tentative = [];
     total_entries = 0;
     entries_per_block = Hashtbl.create 16;
     clean_starts;
@@ -268,8 +275,13 @@ let record_checksum pm ~block_bytes ~block ~meta ~size ~ts =
   | None -> None
   | Some next -> Some (Checksum.words (List.rev !acc), next)
 
-let commit_record ?(fence = true) ?(flush = true) t ~timestamp =
+let commit_record ?(fence = true) ?(flush = true) ?(tentative = false) t
+    ~timestamp =
   assert (has_open_record t);
+  (* a valid record appended past pending tentative ones would sit behind
+     a checksum gap and be unreachable by the valid-prefix scan — the
+     open batch must be sealed before any individually-persisted commit *)
+  assert (tentative || t.tentative = []);
   let meta = t.rec_meta in
   (* sentinel for the record that will follow *)
   Pmem.store_int t.pm t.pos 0;
@@ -282,10 +294,19 @@ let commit_record ?(fence = true) ?(flush = true) t ~timestamp =
   | Some (crc, _) ->
       Pmem.store_int t.pm meta t.rec_size;
       Pmem.store_int t.pm (meta + 8) timestamp;
-      Pmem.store_int t.pm (meta + 16) crc);
+      if tentative then begin
+        (* group commit: the poisoned checksum keeps the record invisible
+           to every scan — whatever subset of its lines a crash persists,
+           the prefix walk stops here.  [seal_tentative] writes the true
+           checksum and persists the whole batch under one fence. *)
+        Pmem.store_int t.pm (meta + 16) (crc lxor 1);
+        t.tentative <- (meta, crc, List.rev t.segs) :: t.tentative
+      end
+      else Pmem.store_int t.pm (meta + 16) crc);
   (* one flush run over the record's spans, then a single fence: the
-     speculative-logging commit of Figure 2 (right) *)
-  if flush then begin
+     speculative-logging commit of Figure 2 (right).  Tentative records
+     defer both to the seal. *)
+  if flush && not tentative then begin
     List.iter
       (fun (a, b) -> Pmem.flush_range t.pm a (b - a))
       (List.rev_append t.pending_spans (List.rev t.segs));
@@ -299,6 +320,36 @@ let commit_record ?(fence = true) ?(flush = true) t ~timestamp =
   t.rec_entries <- 0;
   t.segs <- [];
   t.seg_start <- -1
+
+let tentative_records t = List.length t.tentative
+
+(* Seal a group-commit batch: patch the true checksum into every
+   tentative record (plain stores, oldest first), then persist all of
+   them — every record span plus the chain pointers written since the
+   last persisted commit — with one flush run and a single fence.  The
+   whole batch amortizes the one ordering point SpecPMT has left, so K
+   batched transactions cost ~1/K fences each.  At a crash inside the
+   seal the records become durable in append order: the valid-prefix
+   scan stops at the first unpatched (still poisoned) checksum. *)
+let seal_tentative t =
+  assert (not (has_open_record t));
+  match t.tentative with
+  | [] -> 0
+  | pend ->
+      let pend = List.rev pend in
+      List.iter
+        (fun (meta, crc, _) -> Pmem.store_int t.pm (meta + 16) crc)
+        pend;
+      List.iter
+        (fun (a, b) -> Pmem.flush_range t.pm a (b - a))
+        (List.rev_append t.pending_spans
+           (List.concat_map (fun (_, _, segs) -> segs) pend));
+      Pmem.sfence t.pm;
+      t.pending_spans <- [];
+      t.tentative <- [];
+      let n = List.length pend in
+      Specpmt_obs.Trace.emit "arena.seal" ~a:n;
+      n
 
 (* Shared valid-prefix walk, one pass per record: the checksum words and
    the entry list are accumulated by the same [walk_entries] traversal, so
@@ -472,6 +523,7 @@ let attach heap ~head_slot ~block_bytes =
    page is marked hot. *)
 let append_page_record ?(fence = false) t ~timestamp ~page_base =
   assert (not (has_open_record t));
+  assert (t.tentative = []);
   assert (Addr.page_of page_base = page_base);
   let need = meta_bytes + page_entry_bytes + 8 in
   if t.block_bytes < need + 8 then
@@ -518,12 +570,14 @@ let current_block t = t.cur_block
    committed record's flush run. *)
 let seal_block t =
   assert (not (has_open_record t));
+  assert (t.tentative = []);
   Pmem.store_int t.pm t.pos skip_tag;
   t.pending_spans <- (t.pos, t.pos + 8) :: t.pending_spans;
   chain_block t
 
 let drop_prefix t ~keep_from =
   assert (not (has_open_record t));
+  assert (t.tentative = []);
   (* blocks is newest-first; everything after [keep_from] is the prefix.
      One pass both finds the boundary and splits, instead of a [List.mem]
      probe followed by a second walk. *)
@@ -565,6 +619,7 @@ let drop_prefix t ~keep_from =
    sentinel before ever following it. *)
 let reset t =
   assert (not (has_open_record t));
+  assert (t.tentative = []);
   let head = t.head_block in
   Pmem.store_int t.pm (payload head) 0;
   Pmem.clwb t.pm (payload head);
@@ -589,6 +644,7 @@ let reset t =
 
 let compact t =
   assert (not (has_open_record t));
+  assert (t.tentative = []);
   (* freshest surviving (value, commit timestamp) per datum *)
   let freshest : (Addr.t, int * int) Hashtbl.t = Hashtbl.create 256 in
   let records = ref 0 and scanned = ref 0 in
@@ -697,6 +753,7 @@ let compact t =
    written is invisible to every crash point. *)
 let compact_indexed ?keep_from ?(on_place = fun _ ~block:_ -> ()) t ~live =
   assert (not (has_open_record t));
+  assert (t.tentative = []);
   (match keep_from with
   | Some b ->
       if not (List.mem b t.blocks) || not (Hashtbl.mem t.clean_starts b) then

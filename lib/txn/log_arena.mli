@@ -51,7 +51,8 @@ val abandon_record : t -> unit
     transactions must use this instead of committing a zero-entry record,
     which would read as the end-of-log sentinel. *)
 
-val commit_record : ?fence:bool -> ?flush:bool -> t -> timestamp:int -> unit
+val commit_record :
+  ?fence:bool -> ?flush:bool -> ?tentative:bool -> t -> timestamp:int -> unit
 (** Seal the open record: write metadata with the checksum commit marker,
     flush every line of the record, and issue one fence.  [~fence:false]
     skips the fence — used by the hardware bulk-copy engine, whose flushes
@@ -59,7 +60,30 @@ val commit_record : ?fence:bool -> ?flush:bool -> t -> timestamp:int -> unit
     ordering is enforced by the engine itself (Section 5.1).
     [~flush:false] skips persistence entirely: the record drains via cache
     evictions — only for logs whose content recovery never reads (HOOP's
-    address-mapping log). *)
+    address-mapping log).
+
+    [~tentative:true] is the group-commit path: the record is written with
+    a deliberately poisoned checksum and neither flushed nor fenced, so it
+    stays invisible to every scan no matter which of its lines a crash
+    persists.  {!seal_tentative} later patches the true checksums and
+    persists the whole batch under one flush run and a single fence.
+    While tentative records are pending, only further tentative commits
+    are legal (an individually-persisted record appended behind a
+    checksum gap would be unreachable), and reclamation / reset /
+    epoch operations must wait for the seal. *)
+
+val seal_tentative : t -> int
+(** Persist the pending group-commit batch: write the true checksum into
+    every tentative record (oldest first), flush all their spans plus any
+    pending chain pointers in one run, and issue a single fence.  Returns
+    the number of records sealed (0 when no batch is pending).  A crash
+    inside the seal durably commits a prefix of the batch in append
+    order — the valid-prefix scan stops at the first still-poisoned
+    checksum — so batched transactions become visible all-or-prefix, never
+    out of order. *)
+
+val tentative_records : t -> int
+(** Number of tentative (committed-but-unsealed) records pending. *)
 
 val entry_words : t -> int
 (** Number of entries in the open record. *)

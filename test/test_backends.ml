@@ -773,6 +773,138 @@ let test_switch_out_invalidates_log () =
 
 (* an aborted transaction's allocations must be compensated, or every
    abort leaks heap blocks *)
+(* the Spec_mt thread cap scales with the root-slot table: no more
+   hard-coded 1..3 (one reserved head slot per thread) *)
+let test_mt_thread_cap_lifted () =
+  Alcotest.(check int) "cap = remaining root slots"
+    Slots.spec_mt_max_threads Spec_mt.max_threads;
+  Alcotest.(check bool) "cap is well past the old 3" true
+    (Spec_mt.max_threads >= 8);
+  ignore (Slots.spec_mt_head (Spec_mt.max_threads - 1));
+  Alcotest.check_raises "head slot past the cap rejected"
+    (Invalid_argument "Slots.spec_mt_head") (fun () ->
+      ignore (Slots.spec_mt_head Spec_mt.max_threads));
+  let mk threads =
+    let pm = Pmem.create ~seed:17 Config.small in
+    ignore (Spec_mt.create (Heap.create pm) ~threads)
+  in
+  (* the full-width pool fits a small image with small log blocks *)
+  let pm = Pmem.create ~seed:17 Config.small in
+  ignore
+    (Spec_mt.create
+       ~params:{ Spec_soft.default_params with block_bytes = 256 }
+       (Heap.create pm) ~threads:Spec_mt.max_threads);
+  List.iter
+    (fun threads ->
+      Alcotest.(check bool)
+        (Printf.sprintf "threads=%d rejected" threads)
+        true
+        (try
+           mk threads;
+           false
+         with Invalid_argument _ -> true))
+    [ 0; -1; Spec_mt.max_threads + 1 ]
+
+(* directed 8-thread pool: interleaved commits + one open transaction
+   per the crash, then a full recovery audit (satellite of the service
+   tentpole, which runs one shard per pool thread) *)
+let test_mt_eight_threads_crash_recover () =
+  let pm =
+    Pmem.create ~seed:23 { Config.small with crash_word_persist_prob = 0.7 }
+  in
+  let heap = Heap.create pm in
+  let mt = Spec_mt.create heap ~threads:8 in
+  let base = Heap.alloc heap (9 * 8) in
+  (Spec_mt.thread mt 0).Ctx.run_tx (fun ctx ->
+      for i = 0 to 8 do
+        ctx.Ctx.write (base + (i * 8)) 0
+      done);
+  (* 3 rounds x 8 threads, every thread contending on cell 8 *)
+  for round = 0 to 2 do
+    for th = 0 to 7 do
+      (Spec_mt.thread mt th).Ctx.run_tx (fun ctx ->
+          ctx.Ctx.write (base + (th * 8)) ((round * 100) + th);
+          ctx.Ctx.write (base + 64) ((round * 10) + th))
+    done
+  done;
+  (* thread 5 dies mid-transaction *)
+  (try
+     (Spec_mt.thread mt 5).Ctx.run_tx (fun ctx ->
+         ctx.Ctx.write (base + 40) 999_999;
+         Pmem.set_fuse pm (Some 1);
+         ctx.Ctx.write (base + 64) 888_888)
+   with Pmem.Crash -> ());
+  Pmem.crash pm;
+  Spec_mt.recover mt;
+  for th = 0 to 7 do
+    Alcotest.(check int)
+      (Printf.sprintf "thread %d cell" th)
+      (200 + th)
+      (Pmem.peek_volatile_int pm (base + (th * 8)))
+  done;
+  Alcotest.(check int) "contended cell: last committed writer wins" 27
+    (Pmem.peek_volatile_int pm (base + 64));
+  (* all eight threads keep working after recovery *)
+  for th = 0 to 7 do
+    (Spec_mt.thread mt th).Ctx.run_tx (fun ctx ->
+        ctx.Ctx.write (base + (th * 8)) (500 + th))
+  done;
+  for th = 0 to 7 do
+    Alcotest.(check int)
+      (Printf.sprintf "post-recovery thread %d" th)
+      (500 + th)
+      (Pmem.peek_volatile_int pm (base + (th * 8)))
+  done
+
+(* group-commit batch API: misuse guards and the single-fence seal *)
+let test_batch_api_guards () =
+  let pm = Pmem.create ~seed:31 Config.small in
+  let heap = Heap.create pm in
+  let backend, t = Spec_soft.create heap Spec_soft.default_params in
+  Alcotest.(check bool) "not batching initially" false (Spec_soft.in_batch t);
+  Alcotest.check_raises "end without begin"
+    (Invalid_argument "Spec_soft.batch_end: no open batch") (fun () ->
+      ignore (Spec_soft.batch_end t));
+  Spec_soft.batch_begin t;
+  Alcotest.check_raises "nested begin"
+    (Invalid_argument "Spec_soft.batch_begin: batch already open") (fun () ->
+      Spec_soft.batch_begin t);
+  let base = Heap.alloc heap 8 in
+  backend.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 0);
+  Alcotest.(check int) "seals the adoption tx" 1 (Spec_soft.batch_end t);
+  (* data_persist commits eagerly per transaction: batching refused *)
+  let _, dp = Spec_soft.create heap Spec_soft.dp_params in
+  Alcotest.check_raises "data_persist cannot batch"
+    (Invalid_argument
+       "Spec_soft.batch_begin: data-persist mode fences per transaction")
+    (fun () -> Spec_soft.batch_begin dp)
+
+let test_batch_single_fence () =
+  let pm = Pmem.create ~seed:37 Config.small in
+  let heap = Heap.create pm in
+  let backend, t = Spec_soft.create heap Spec_soft.default_params in
+  let base = Heap.alloc heap (8 * 8) in
+  backend.Ctx.run_tx (fun ctx ->
+      for i = 0 to 7 do
+        ctx.Ctx.write (base + (i * 8)) 0
+      done);
+  let fences_for n =
+    let before = (Pmem.stats pm).Stats.fences in
+    Spec_soft.batch_begin t;
+    for i = 1 to n do
+      backend.Ctx.run_tx (fun ctx -> ctx.Ctx.write (base + (i mod 8 * 8)) i)
+    done;
+    Alcotest.(check int) "all sealed" n (Spec_soft.batch_end t);
+    (Pmem.stats pm).Stats.fences - before
+  in
+  Alcotest.(check int) "4 txns, one fence" 1 (fences_for 4);
+  Alcotest.(check int) "8 txns, one fence" 1 (fences_for 8);
+  (* and the batch is durable: drain nothing further, recover, audit *)
+  Pmem.crash_with pm ~persist:(fun _ -> false);
+  backend.Ctx.recover ();
+  Alcotest.(check int) "last batched write survives" 8
+    (Pmem.peek_volatile_int pm base)
+
 let test_abort_releases_allocations () =
   let pm = Pmem.create ~seed:93 Config.small in
   let heap = Heap.create pm in
@@ -815,6 +947,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_mt_atomic_durability;
           Alcotest.test_case "coherence scenario (section 5.1)" `Quick
             test_coherence_scenario_51;
+          Alcotest.test_case "thread cap scales with root slots" `Quick
+            test_mt_thread_cap_lifted;
+          Alcotest.test_case "8-thread pool crash + recover" `Quick
+            test_mt_eight_threads_crash_recover;
         ] );
       ( "specpmt specifics",
         [
@@ -837,6 +973,9 @@ let () =
             test_adaptive_reclaim_triggers;
           Alcotest.test_case "adaptive reclamation defers on budget" `Quick
             test_adaptive_defers_without_budget;
+          Alcotest.test_case "batch API guards" `Quick test_batch_api_guards;
+          Alcotest.test_case "batch seals under one fence" `Quick
+            test_batch_single_fence;
         ] );
       ( "regressions",
         [

@@ -1,0 +1,186 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_svc
+
+(* The service-level acceptance tests of the group-commit tentpole:
+   fences/write falls with the batch size, admission sheds under
+   pressure, and a kill in the middle of a batch loses nothing that was
+   acknowledged while exposing nothing that was not. *)
+
+let mk_svc ?(seed = 5) cfg =
+  let pm = Pmem.create ~seed Config.small in
+  let heap = Heap.create pm in
+  (pm, Service.create heap cfg)
+
+(* router + admission *)
+
+let test_router_and_admission () =
+  let _, svc = mk_svc { Service.shards = 3; batch_max = 4; depth = 2; keys = 64 } in
+  for k = 0 to 63 do
+    let s = Service.shard_of_key svc k in
+    Alcotest.(check bool) "shard in range" true (s >= 0 && s < 3);
+    Alcotest.(check int) "routing is stable" s (Service.shard_of_key svc k)
+  done;
+  (* overrun one shard's depth-2 admission queue *)
+  let on_shard0 =
+    List.filter (fun k -> Service.shard_of_key svc k = 0)
+      (List.init 64 Fun.id)
+  in
+  Alcotest.(check bool) "enough keys on shard 0" true
+    (List.length on_shard0 >= 5);
+  let verdicts =
+    List.map
+      (fun k -> Service.submit svc ~client:0 ~key:k (Service.Write k))
+      on_shard0
+  in
+  let accepted, shed =
+    List.partition (function Admission.Accepted -> true | _ -> false) verdicts
+  in
+  Alcotest.(check int) "depth bounds inflight" 2 (List.length accepted);
+  Alcotest.(check int) "the rest are shed" (List.length on_shard0 - 2)
+    (List.length shed);
+  Alcotest.(check int) "sheds counted" (List.length shed)
+    (Service.rejected svc);
+  (* a drain frees the slots: the shed keys go through on retry *)
+  let done1 = Service.drain svc in
+  Alcotest.(check int) "accepted ops complete" 2 (List.length done1);
+  List.iter
+    (fun (v : Admission.verdict) ->
+      match v with
+      | Admission.Rejected { queued } ->
+          Alcotest.failf "retry after drain still shed (queued %d)" queued
+      | Admission.Accepted -> ())
+    (List.filteri (fun i _ -> i < 2)
+       (List.map
+          (fun k -> Service.submit svc ~client:0 ~key:k (Service.Write k))
+          (List.filteri (fun i _ -> i >= 2) on_shard0)))
+
+(* fences/write falls monotonically with batch_max (toward 1/K) *)
+
+let test_fences_per_write_monotone () =
+  let fences_at batch_max =
+    let _, svc =
+      mk_svc ~seed:7
+        { Service.shards = 2; batch_max; depth = 32; keys = 256 }
+    in
+    let r =
+      Loadgen.run svc
+        { Loadgen.clients = 16; ops = 400; read_frac = 0.0; skew = 0.0;
+          seed = 11 }
+    in
+    Alcotest.(check int) "all ops completed" 400 r.Loadgen.total_ops;
+    r.Loadgen.fences_per_write
+  in
+  let f1 = fences_at 1 and f4 = fences_at 4 and f8 = fences_at 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "batch 4 beats batch 1 (%.3f < %.3f)" f4 f1)
+    true (f4 < f1);
+  Alcotest.(check bool)
+    (Printf.sprintf "batch 8 beats batch 4 (%.3f < %.3f)" f8 f4)
+    true (f8 < f4);
+  Alcotest.(check bool)
+    (Printf.sprintf "batch 8 amortises below 1/2 (%.3f)" f8)
+    true (f8 < 0.5)
+
+(* mid-batch kill: acknowledged writes survive any crash, unacknowledged
+   ones stay invisible (except a sealed prefix of the one batch whose
+   fence was in flight).  A dry run sizes the drain's event window, then
+   the same deterministic workload is killed at a spread of crash points
+   under both drain-everything and drain-nothing persist choices. *)
+
+let kill_cfg = { Service.shards = 2; batch_max = 3; depth = 32; keys = 32 }
+
+let kill_ops =
+  (* 24 writes, keys repeat so later batches overwrite earlier ones *)
+  List.init 24 (fun i -> (i * 5 mod 32, 1000 + i))
+
+let run_kill ~fuse ~persist =
+  let pm, svc = mk_svc ~seed:5 kill_cfg in
+  let acked = Array.make kill_cfg.Service.keys 0 in
+  let pending = Array.make kill_cfg.Service.keys [] in
+  List.iter
+    (fun (k, v) ->
+      pending.(k) <- pending.(k) @ [ v ];
+      match Service.submit svc ~client:0 ~key:k (Service.Write v) with
+      | Admission.Accepted -> ()
+      | Admission.Rejected _ -> Alcotest.fail "kill workload must fit depth")
+    kill_ops;
+  let on_ack (c : Service.completion) =
+    match c.Service.c_op with
+    | Service.Write v ->
+        acked.(c.Service.c_key) <- v;
+        pending.(c.Service.c_key) <-
+          List.filter (fun v' -> v' <> v) pending.(c.Service.c_key)
+    | Service.Read -> ()
+  in
+  (match fuse with
+  | Some f ->
+      Pmem.set_fuse pm (Some f);
+      (try ignore (Service.drain ~on_ack svc) with Pmem.Crash -> ())
+  | None -> ignore (Service.drain ~on_ack svc));
+  let sealing =
+    Array.init kill_cfg.Service.shards (Service.sealing svc)
+  in
+  Pmem.crash_with pm ~persist:(fun _ -> persist);
+  Service.recover svc;
+  (* audit: every key shows its last acknowledged value, or — only on a
+     shard whose seal was in flight — a submitted-but-unacked value
+     (the durable prefix of the interrupted batch) *)
+  for k = 0 to kill_cfg.Service.keys - 1 do
+    let got = Service.peek svc k in
+    let sealing_shard = sealing.(Service.shard_of_key svc k) in
+    let ok =
+      got = acked.(k) || (sealing_shard && List.mem got pending.(k))
+    in
+    if not ok then
+      Alcotest.failf
+        "fuse %s persist %b key %d: got %d, acked %d, pending %a (sealing %b)"
+        (match fuse with Some f -> string_of_int f | None -> "-")
+        persist k got acked.(k)
+        Fmt.(Dump.list int)
+        pending.(k) sealing_shard
+  done;
+  (* the recovered service keeps serving *)
+  (match Service.submit svc ~client:9 ~key:0 (Service.Write 777_777) with
+  | Admission.Accepted -> ()
+  | Admission.Rejected _ -> Alcotest.fail "post-recovery submit shed");
+  ignore (Service.drain svc);
+  Alcotest.(check int) "post-recovery write lands" 777_777
+    (Service.peek svc 0)
+
+let test_mid_batch_kill () =
+  (* dry run: count the drain's fuse-visible events *)
+  let drain_events =
+    let pm, svc = mk_svc ~seed:5 kill_cfg in
+    List.iter
+      (fun (k, v) ->
+        ignore (Service.submit svc ~client:0 ~key:k (Service.Write v)))
+      kill_ops;
+    let e0 = Pmem.events pm in
+    ignore (Service.drain svc);
+    Pmem.events pm - e0
+  in
+  Alcotest.(check bool) "drain does work" true (drain_events > 0);
+  (* no-crash control: every write acknowledged and visible *)
+  run_kill ~fuse:None ~persist:true;
+  let stride = max 1 (drain_events / 40) in
+  let fuse = ref 1 in
+  while !fuse <= drain_events do
+    run_kill ~fuse:(Some !fuse) ~persist:true;
+    run_kill ~fuse:(Some !fuse) ~persist:false;
+    fuse := !fuse + stride
+  done
+
+let () =
+  Alcotest.run "svc"
+    [
+      ( "service",
+        [
+          Alcotest.test_case "router + admission backpressure" `Quick
+            test_router_and_admission;
+          Alcotest.test_case "fences/write falls with batch size" `Quick
+            test_fences_per_write_monotone;
+          Alcotest.test_case "mid-batch kill: acked durable, unacked invisible"
+            `Slow test_mid_batch_kill;
+        ] );
+    ]

@@ -764,6 +764,63 @@ let prop_arena_roundtrip =
 (* property: crash at ANY memory event during a sequence of appends and
    commits — the scan must always yield a prefix of the committed records,
    never garbage, never a record out of order *)
+(* tentative (group-commit) records: a poisoned-checksum commit is
+   invisible to recovery under any persist outcome until sealed *)
+
+let tentative_round a r =
+  Log_arena.begin_record a;
+  ignore (Log_arena.add_entry a ~target:(1000 + (r * 8)) ~value:(r * 11));
+  Log_arena.commit_record a ~tentative:true ~timestamp:r
+
+let test_arena_tentative_invisible_until_sealed () =
+  let pm, _, a = mk_arena () in
+  tentative_round a 1;
+  tentative_round a 2;
+  Alcotest.(check int) "two pending" 2 (Log_arena.tentative_records a);
+  (* worst case for the invisibility claim: every dirty word drains *)
+  Pmem.crash_with pm ~persist:(fun _ -> true);
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "unsealed records are invisible even fully persisted" [] (scan_all pm)
+
+let test_arena_seal_makes_batch_durable () =
+  let pm, _, a = mk_arena () in
+  tentative_round a 1;
+  tentative_round a 2;
+  Alcotest.(check int) "seals both" 2 (Log_arena.seal_tentative a);
+  Alcotest.(check int) "none pending" 0 (Log_arena.tentative_records a);
+  (* worst case for the durability claim: nothing further drains — the
+     seal's own flush run + fence must already have persisted the batch *)
+  Pmem.crash_with pm ~persist:(fun _ -> false);
+  Alcotest.(check (list (pair int (list (pair int int)))))
+    "sealed batch survives a drain-nothing crash"
+    [ (1, [ (1000 + 8, 11) ]); (2, [ (1000 + 16, 22) ]) ]
+    (scan_all pm)
+
+let test_arena_seal_crash_yields_prefix () =
+  (* dry-run the seal to size its event window, then crash at every
+     event inside it: recovery must see a timestamp-prefix of the batch *)
+  let seal_events =
+    let pm, _, a = mk_arena () in
+    for r = 1 to 3 do tentative_round a r done;
+    let e0 = Pmem.events pm in
+    ignore (Log_arena.seal_tentative a);
+    Pmem.events pm - e0
+  in
+  Alcotest.(check bool) "seal does some work" true (seal_events > 0);
+  for fuse = 1 to seal_events do
+    let pm, _, a = mk_arena () in
+    for r = 1 to 3 do tentative_round a r done;
+    Pmem.set_fuse pm (Some fuse);
+    (try ignore (Log_arena.seal_tentative a) with Pmem.Crash -> ());
+    Pmem.crash_with pm ~persist:(fun _ -> true);
+    let seen = List.map fst (scan_all pm) in
+    let is_prefix = seen = List.init (List.length seen) (fun i -> i + 1) in
+    if not is_prefix then
+      Alcotest.failf "fuse %d: recovered %a, not a batch prefix" fuse
+        Fmt.(Dump.list int)
+        seen
+  done
+
 let prop_crash_prefix =
   QCheck.Test.make ~name:"any crash yields a committed-record prefix"
     ~count:120
@@ -860,6 +917,12 @@ let () =
           Alcotest.test_case "seal + drop prefix" `Quick
             test_seal_and_drop_prefix;
           Alcotest.test_case "abandon record" `Quick test_abandon_record;
+          Alcotest.test_case "tentative invisible until sealed" `Quick
+            test_arena_tentative_invisible_until_sealed;
+          Alcotest.test_case "seal makes batch durable" `Quick
+            test_arena_seal_makes_batch_durable;
+          Alcotest.test_case "seal crash yields prefix" `Quick
+            test_arena_seal_crash_yields_prefix;
           Alcotest.test_case "attach sentinel survives second crash" `Slow
             test_attach_sentinel_second_crash;
           QCheck_alcotest.to_alcotest prop_arena_roundtrip;
