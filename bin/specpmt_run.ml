@@ -295,6 +295,14 @@ let fuzz_cmd =
        ~doc:"Randomized crash-recovery torture over a durable hash table")
     Term.(const run $ scheme_arg $ seed_arg $ rounds_arg)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the exploration/sweep (1 = serial).  Defaults to \
+     the machine's recommended domain count minus one, capped at 8.  The \
+     output is byte-identical for every value."
+  in
+  Arg.(value & opt int (Par.default_jobs ()) & info [ "j"; "jobs" ] ~doc)
+
 let explore_cmd =
   let budget_arg =
     Arg.(
@@ -335,8 +343,10 @@ let explore_cmd =
             "Replay one case: persist choice (all, none, keepline:K, \
              dropline:K, keepword:K, dropword:K).")
   in
-  let run scheme seed budget cells txs max_writes policies fuse choice json =
+  let run scheme seed budget cells txs max_writes policies fuse choice jobs
+      json =
     let fail fmt = Fmt.kpf (fun _ -> exit 2) Fmt.stderr fmt in
+    if jobs < 1 then fail "specpmt_run: --jobs must be at least 1@.";
     let policies =
       match Crashmc.policies_of_string policies with
       | Ok p -> p
@@ -366,15 +376,19 @@ let explore_cmd =
             List.iter (fun l -> Fmt.pr "  trace: %s@." l) f.Crashmc.trace;
             exit 1)
     | None, None ->
+        let t0 = Unix.gettimeofday () in
         let r =
-          Crashmc.explore ~cells ~txs ~max_writes ~budget ~policies ~scheme
-            ~seed ()
+          Crashmc.explore ~jobs ~cells ~txs ~max_writes ~budget ~policies
+            ~scheme ~seed ()
         in
+        let wall_s = Unix.gettimeofday () -. t0 in
         Fmt.pr
           "%s: %d crash points (of %d events, stride %d) x persist choices = \
            %d cases, %d clean@."
           r.Crashmc.scheme r.Crashmc.points r.Crashmc.total_events
           r.Crashmc.stride r.Crashmc.cases r.Crashmc.passes;
+        Fmt.pr "%.2fs wall (%d jobs), %.0f cases/sec@." wall_s jobs
+          (if wall_s > 0.0 then float_of_int r.Crashmc.cases /. wall_s else 0.0);
         List.iter
           (fun f ->
             Fmt.pr "FAILURE %a@." Crashmc.pp_failure f;
@@ -382,7 +396,7 @@ let explore_cmd =
           r.Crashmc.failures;
         Option.iter
           (fun path ->
-            Json.to_file path (Crashmc.report_to_json r);
+            Json.to_file path (Crashmc.report_to_json ~wall_s r);
             Fmt.pr "wrote JSON report to %s@." path)
           json;
         if r.Crashmc.failures <> [] then exit 1
@@ -395,7 +409,8 @@ let explore_cmd =
           (crashmc)")
     Term.(
       const run $ scheme_arg $ seed_arg $ budget_arg $ cells_arg $ txs_arg
-      $ max_writes_arg $ policies_arg $ fuse_arg $ choice_arg $ json_arg)
+      $ max_writes_arg $ policies_arg $ fuse_arg $ choice_arg $ jobs_arg
+      $ json_arg)
 
 let svc_bench_cmd =
   let shards_arg =
@@ -403,8 +418,12 @@ let svc_bench_cmd =
   in
   let batch_arg =
     Arg.(
-      value & opt int 8
-      & info [ "batch" ] ~doc:"Transactions per group-commit batch.")
+      value & opt string "8"
+      & info [ "batch" ] ~docv:"N[,N..]"
+          ~doc:
+            "Transactions per group-commit batch.  A comma-separated list \
+             sweeps every value (the sweep runs on $(b,--jobs) domains; \
+             reports print in list order).")
   in
   let depth_arg =
     Arg.(
@@ -430,8 +449,17 @@ let svc_bench_cmd =
   let keys_arg =
     Arg.(value & opt int 4096 & info [ "keys" ] ~doc:"KV table size.")
   in
-  let run scheme shards batch depth mix skew clients ops keys seed reclaim
-      recovery json =
+  let run scheme shards batches depth mix skew clients ops keys seed reclaim
+      recovery jobs json =
+    let fail fmt = Fmt.kpf (fun _ -> exit 2) Fmt.stderr fmt in
+    if jobs < 1 then fail "specpmt_run: --jobs must be at least 1@.";
+    let batches =
+      String.split_on_char ',' batches
+      |> List.map (fun s ->
+             match int_of_string_opt (String.trim s) with
+             | Some b when b > 0 -> b
+             | _ -> fail "specpmt_run: bad --batch %S (positive int list)@." s)
+    in
     let base =
       match spec_params_of_name scheme with
       | Some p -> p
@@ -443,31 +471,60 @@ let svc_bench_cmd =
     let params =
       Option.value ~default:base (spec_params_override ~reclaim ~recovery base)
     in
-    Obs.Phase.reset ();
-    Obs.Metrics.reset_all ();
-    let pm =
-      Pmem.create ~seed { Pmem_config.default with mem_size = 64 * 1024 * 1024 }
-    in
-    let heap = Heap.create pm in
-    let svc =
-      Svc.Service.create ~params heap
-        { Svc.Service.shards; batch_max = batch; depth; keys }
-    in
-    let report =
+    (* One independent service instance per batch size; the sweep points
+       share nothing, so they parallelize trivially and the reports are
+       the same for any --jobs. *)
+    let run_one batch =
+      Obs.Phase.reset ();
+      Obs.Metrics.reset_all ();
+      let pm =
+        Pmem.create ~seed
+          { Pmem_config.default with mem_size = 64 * 1024 * 1024 }
+      in
+      let heap = Heap.create pm in
+      let svc =
+        Svc.Service.create ~params heap
+          { Svc.Service.shards; batch_max = batch; depth; keys }
+      in
       Svc.Loadgen.run svc
         { Svc.Loadgen.clients; ops; read_frac = mix; skew; seed }
     in
-    Fmt.pr "%a" Svc.Loadgen.pp report;
+    let reports = Par.map_list ~jobs run_one batches in
+    let sweep = List.length batches > 1 in
+    List.iter2
+      (fun batch report ->
+        if sweep then Fmt.pr "--- batch %d ---@." batch;
+        Fmt.pr "%a" Svc.Loadgen.pp report)
+      batches reports;
     Option.iter
       (fun path ->
+        let body =
+          match (batches, reports) with
+          | [ _ ], [ report ] ->
+              (* single point: the pre-sweep report shape, unchanged *)
+              [ ("report", Svc.Loadgen.report_to_json report) ]
+          | _ ->
+              [
+                ( "reports",
+                  Json.List
+                    (List.map2
+                       (fun batch report ->
+                         Json.Obj
+                           [
+                             ("batch", Json.Int batch);
+                             ("report", Svc.Loadgen.report_to_json report);
+                           ])
+                       batches reports) );
+              ]
+        in
         Json.to_file path
           (Json.Obj
-             [
-               ("schema_version", Json.Int Run.schema_version);
-               ("generator", Json.Str "specpmt-svc");
-               ("scheme", Json.Str scheme);
-               ("report", Svc.Loadgen.report_to_json report);
-             ]);
+             ([
+                ("schema_version", Json.Int Run.schema_version);
+                ("generator", Json.Str "specpmt-svc");
+                ("scheme", Json.Str scheme);
+              ]
+             @ body));
         Fmt.pr "wrote JSON report to %s@." path)
       json
   in
@@ -479,7 +536,7 @@ let svc_bench_cmd =
     Term.(
       const run $ scheme_arg $ shards_arg $ batch_arg $ depth_arg $ mix_arg
       $ skew_arg $ clients_arg $ ops_arg $ keys_arg $ seed_arg $ reclaim_arg
-      $ recovery_arg $ json_arg)
+      $ recovery_arg $ jobs_arg $ json_arg)
 
 let () =
   let info = Cmd.info "specpmt_run" ~doc:"SpecPMT workload runner" in

@@ -26,6 +26,8 @@
     - {!Crashmc}: the deterministic crash-state exploration engine,
     - {!Svc}: the sharded KV service layer (group commit, admission,
       load generation),
+    - {!Par}: the domain pool behind the harness's [--jobs] flags
+      (deterministic index-ordered reduction),
     - {!Obs}: metrics, phase attribution, tracing and the JSON reports. *)
 
 module Pmem = Specpmt_pmem.Pmem
@@ -47,6 +49,7 @@ module Workload = Specpmt_stamp.Workload
 module Profile = Specpmt_stamp.Profile
 module Crashmc = Specpmt_crashmc.Crashmc
 module Svc = Specpmt_svc
+module Par = Specpmt_par.Par
 module Obs = Specpmt_obs
 module Json = Specpmt_obs.Json
 

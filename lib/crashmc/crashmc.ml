@@ -5,6 +5,7 @@ open Specpmt_backends
 module Hw = Specpmt_hwtxn
 module Obs = Specpmt_obs
 module Json = Specpmt_obs.Json
+module Par = Specpmt_par.Par
 
 (* ------------------------------------------------------------------ *)
 (* Persist choices                                                     *)
@@ -516,7 +517,7 @@ let get_target scheme =
         (String.concat ", " (target_names ()))
 
 let mk_failure ~scheme ~seed ~cells ~txs ~max_writes ~states ~fuse ~choice
-    (r : case) =
+    ~trace (r : case) =
   {
     fuse;
     choice;
@@ -533,15 +534,32 @@ let mk_failure ~scheme ~seed ~cells ~txs ~max_writes ~states ~fuse ~choice
         "specpmt_run explore --scheme '%s' --seed %d --cells %d --txs %d \
          --max-writes %d --fuse %d --choice %s"
         scheme seed cells txs max_writes fuse (choice_to_string choice);
-    trace =
-      List.map
-        (fun e -> Format.asprintf "%a" Obs.Trace.pp_event e)
-        (Obs.Trace.recent ());
+    trace;
   }
 
+(* Run one case and, when it fails, harvest its formatted trace right
+   away: the ring is domain-local and the next case on this domain
+   clears it, so the capture must happen on the domain that executed the
+   case, before it runs anything else.  Passing cases skip the
+   formatting — the hot path of a clean sweep. *)
+let run_case_traced tgt ~seed ~cells ~program ~states ~fuse ~choice =
+  let r = run_case tgt ~seed ~cells ~program ~states ~fuse ~choice in
+  let trace =
+    match r with
+    | Some c when not c.c_ok ->
+        List.map
+          (fun e -> Format.asprintf "%a" Obs.Trace.pp_event e)
+          (Obs.Trace.recent ())
+    | _ -> []
+  in
+  (r, trace)
+
 let explore ?(cells = 8) ?(txs = 6) ?(max_writes = 4) ?(budget = 2000)
-    ?(policies = default_policies) ~scheme ~seed () =
+    ?(policies = default_policies) ?(jobs = 1) ~scheme ~seed () =
   let tgt = get_target scheme in
+  (* [get_target] forced the recoverability probes; the program, states
+     and target closure below are the read-only plan every worker domain
+     shares. *)
   Obs.Trace.set_capacity 64;
   let program = gen_program ~cells ~txs ~max_writes ~seed in
   let states = reference ~cells program in
@@ -567,43 +585,100 @@ let explore ?(cells = 8) ?(txs = 6) ?(max_writes = 4) ?(budget = 2000)
   let stride = max 1 (total_events * est_cases policies / max 1 budget) in
   let points = ref 0 and cases = ref 0 and passes = ref 0 in
   let failures = ref [] in
-  let fuse = ref 1 in
-  while !fuse <= total_events && !cases < budget do
-    incr points;
-    let record choice (r : case) =
-      incr cases;
-      if r.c_ok then incr passes
-      else
-        failures :=
-          mk_failure ~scheme ~seed ~cells ~txs ~max_writes ~states ~fuse:!fuse
-            ~choice r
-          :: !failures
+  let record ~fuse choice (r : case) trace =
+    incr cases;
+    if r.c_ok then incr passes
+    else
+      failures :=
+        mk_failure ~scheme ~seed ~cells ~txs ~max_writes ~states ~fuse ~choice
+          ~trace r
+        :: !failures
+  in
+  if jobs <= 1 then begin
+    (* serial: the budget short-circuits execution, not just recording *)
+    let fuse = ref 1 in
+    while !fuse <= total_events && !cases < budget do
+      incr points;
+      (* all-drain first: it both audits the fully-persisted crash state
+         and sizes the dirty set for the adversarial families *)
+      (match
+         run_case_traced tgt ~seed ~cells ~program ~states ~fuse:!fuse
+           ~choice:Persist_all
+       with
+      | None, _ -> () (* unreachable: fuse <= total_events always crashes *)
+      | Some probe, ptrace ->
+          record ~fuse:!fuse Persist_all probe ptrace;
+          let rest =
+            choices_for ~policies ~ndl:probe.c_dirty_lines
+              ~ndw:probe.c_dirty_words
+            |> List.filter (fun c -> c <> Persist_all)
+          in
+          List.iter
+            (fun choice ->
+              if !cases < budget then
+                match
+                  run_case_traced tgt ~seed ~cells ~program ~states
+                    ~fuse:!fuse ~choice
+                with
+                | None, _ -> ()
+                | Some r, tr -> record ~fuse:!fuse choice r tr)
+            rest);
+      fuse := !fuse + stride
+    done
+  end
+  else begin
+    (* Parallel: every strided crash point is an independent job (each
+       case builds its own device), fanned over the domain pool; the
+       index-ordered results are then reduced with {e exactly} the
+       serial loop's budget accounting, so the recorded report is
+       byte-identical to [jobs = 1].  Workers don't see the global case
+       count, so up to one stride-window of cases past the budget may
+       execute and be discarded — bounded waste, traded for not sharing
+       a counter. *)
+    let npoints =
+      if total_events < 1 then 0 else 1 + ((total_events - 1) / stride)
     in
-    (* all-drain first: it both audits the fully-persisted crash state
-       and sizes the dirty set for the adversarial families *)
-    (match
-       run_case tgt ~seed ~cells ~program ~states ~fuse:!fuse
-         ~choice:Persist_all
-     with
-    | None -> () (* unreachable: fuse <= total_events always crashes *)
-    | Some probe ->
-        record Persist_all probe;
-        let rest =
-          choices_for ~policies ~ndl:probe.c_dirty_lines
-            ~ndw:probe.c_dirty_words
-          |> List.filter (fun c -> c <> Persist_all)
-        in
-        List.iter
-          (fun choice ->
-            if !cases < budget then
-              match
-                run_case tgt ~seed ~cells ~program ~states ~fuse:!fuse ~choice
-              with
-              | None -> ()
-              | Some r -> record choice r)
-          rest);
-    fuse := !fuse + stride
-  done;
+    let run_point fuse =
+      match
+        run_case_traced tgt ~seed ~cells ~program ~states ~fuse
+          ~choice:Persist_all
+      with
+      | None, _ -> []
+      | Some probe, ptrace ->
+          let rest =
+            choices_for ~policies ~ndl:probe.c_dirty_lines
+              ~ndw:probe.c_dirty_words
+            |> List.filter (fun c -> c <> Persist_all)
+          in
+          (Persist_all, probe, ptrace)
+          :: List.filter_map
+               (fun choice ->
+                 match
+                   run_case_traced tgt ~seed ~cells ~program ~states ~fuse
+                     ~choice
+                 with
+                 | None, _ -> None
+                 | Some r, tr -> Some (choice, r, tr))
+               rest
+    in
+    let per_point =
+      Par.run ~jobs ~n:npoints (fun i -> run_point (1 + (i * stride)))
+    in
+    (* sequential replay of the serial accounting, in submission order:
+       a point is entered only while under budget, its all-drain case is
+       always recorded, every later choice only while under budget *)
+    Array.iteri
+      (fun i results ->
+        if !cases < budget then begin
+          incr points;
+          List.iteri
+            (fun j (choice, r, trace) ->
+              if j = 0 || !cases < budget then
+                record ~fuse:(1 + (i * stride)) choice r trace)
+            results
+        end)
+      per_point
+  end;
   {
     scheme = tgt.t_name;
     seed;
@@ -630,13 +705,13 @@ let replay ?(cells = 8) ?(txs = 6) ?(max_writes = 4) ~scheme ~seed ~fuse
   Obs.Trace.set_capacity 64;
   let program = gen_program ~cells ~txs ~max_writes ~seed in
   let states = reference ~cells program in
-  match run_case tgt ~seed ~cells ~program ~states ~fuse ~choice with
-  | None -> Run_completed
-  | Some r when r.c_ok -> Audit_ok r.c_committed
-  | Some r ->
+  match run_case_traced tgt ~seed ~cells ~program ~states ~fuse ~choice with
+  | None, _ -> Run_completed
+  | Some r, _ when r.c_ok -> Audit_ok r.c_committed
+  | Some r, trace ->
       Audit_failed
         (mk_failure ~scheme:tgt.t_name ~seed ~cells ~txs ~max_writes ~states
-           ~fuse ~choice r)
+           ~fuse ~choice ~trace r)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
@@ -678,21 +753,35 @@ let failure_to_json f =
 (* Bumped on any incompatible change to the report layout. *)
 let schema_version = 1
 
-let report_to_json r =
+let report_to_json ?wall_s r =
+  let throughput =
+    (* additive keys: harness timing, not part of the deterministic
+       verdict set (strip them before comparing parallel/serial runs) *)
+    match wall_s with
+    | None -> []
+    | Some w ->
+        [
+          ("wall_s", Json.Float w);
+          ( "cases_per_sec",
+            Json.Float
+              (if w > 0.0 then float_of_int r.cases /. w else 0.0) );
+        ]
+  in
   Json.Obj
-    [
-      ("schema_version", Json.Int schema_version);
-      ("generator", Json.Str "specpmt-crashmc");
-      ("scheme", Json.Str r.scheme);
-      ("seed", Json.Int r.seed);
-      ("cells", Json.Int r.cells);
-      ("txs", Json.Int r.txs);
-      ("max_writes", Json.Int r.max_writes);
-      ("budget", Json.Int r.budget);
-      ("total_events", Json.Int r.total_events);
-      ("stride", Json.Int r.stride);
-      ("points", Json.Int r.points);
-      ("cases", Json.Int r.cases);
-      ("passes", Json.Int r.passes);
-      ("failures", Json.List (List.map failure_to_json r.failures));
-    ]
+    ([
+       ("schema_version", Json.Int schema_version);
+       ("generator", Json.Str "specpmt-crashmc");
+       ("scheme", Json.Str r.scheme);
+       ("seed", Json.Int r.seed);
+       ("cells", Json.Int r.cells);
+       ("txs", Json.Int r.txs);
+       ("max_writes", Json.Int r.max_writes);
+       ("budget", Json.Int r.budget);
+       ("total_events", Json.Int r.total_events);
+       ("stride", Json.Int r.stride);
+       ("points", Json.Int r.points);
+       ("cases", Json.Int r.cases);
+       ("passes", Json.Int r.passes);
+       ("failures", Json.List (List.map failure_to_json r.failures));
+     ]
+    @ throughput)

@@ -119,6 +119,7 @@ val explore :
   ?max_writes:int ->
   ?budget:int ->
   ?policies:policy list ->
+  ?jobs:int ->
   scheme:string ->
   seed:int ->
   unit ->
@@ -127,7 +128,17 @@ val explore :
     identical report (same explored set, same verdicts), which is what
     makes a clean run a regression statement.  Raises [Invalid_argument]
     on a scheme that is unknown or cannot recover.  Defaults:
-    [cells = 8], [txs = 6], [max_writes = 4], [budget = 2000]. *)
+    [cells = 8], [txs = 6], [max_writes = 4], [budget = 2000],
+    [jobs = 1].
+
+    [jobs > 1] fans the crash points over that many worker domains (see
+    [Specpmt.Par]): every case owns a fresh device, so the points are
+    embarrassingly parallel, and the results are reduced in submission
+    order under the serial loop's exact budget accounting — the report
+    is byte-identical to [jobs = 1] for any [jobs].  The only
+    difference is unobservable waste: workers may execute up to one
+    stride-window of cases past the budget, which the reduction then
+    discards. *)
 
 type replay_result =
   | Run_completed  (** the fuse outlived the workload; nothing to audit *)
@@ -154,6 +165,9 @@ val pp_failure : Format.formatter -> failure -> unit
 (** Human-readable failure: verdict, recovered-vs-expected cells and the
     one-line reproducer. *)
 
-val report_to_json : report -> Specpmt_obs.Json.t
+val report_to_json : ?wall_s:float -> report -> Specpmt_obs.Json.t
 (** Schema-stable JSON ([generator = "specpmt-crashmc"]); failures embed
-    their reproducer line and trace. *)
+    their reproducer line and trace.  [wall_s] (harness wall-clock
+    seconds) appends the additive [wall_s] / [cases_per_sec] keys —
+    timing, not verdicts, so comparisons across [jobs] settings should
+    strip them. *)

@@ -47,6 +47,19 @@ let reset (t : t) =
   t.max <- min_int;
   Array.fill t.buckets 0 nbuckets 0
 
+let absorb (t : t) (s : snapshot) =
+  if s.count > 0 then begin
+    t.count <- t.count + s.count;
+    t.sum <- t.sum +. s.sum;
+    if s.min < t.min then t.min <- s.min;
+    if s.max > t.max then t.max <- s.max;
+    List.iter
+      (fun (lo, n) ->
+        let i = bucket_of lo in
+        t.buckets.(i) <- t.buckets.(i) + n)
+      s.buckets
+  end
+
 let snapshot (t : t) : snapshot =
   let buckets = ref [] in
   for i = nbuckets - 1 downto 0 do

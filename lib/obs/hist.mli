@@ -26,6 +26,11 @@ val observe : t -> int -> unit
 val reset : t -> unit
 val snapshot : t -> snapshot
 
+val absorb : t -> snapshot -> unit
+(** Merge a snapshot (typically taken on another domain) into [t]:
+    counts and sums add, min/max widen, buckets add pairwise.  Lossless
+    because snapshots carry exact bucket boundaries. *)
+
 val mean : snapshot -> float
 (** 0 when empty. *)
 

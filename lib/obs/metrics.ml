@@ -3,11 +3,19 @@ type gauge = { mutable g : float }
 
 type item = C of counter | G of gauge | H of Hist.t
 
-let registry : (string, item) Hashtbl.t = Hashtbl.create 64
+(* One registry per domain: subsystems bump their metrics with zero
+   cross-domain coordination, and the harness merges worker registries
+   into the parent's with {!export}/{!absorb} when a domain pool joins
+   (see [Specpmt.Par]). *)
+let key : (string, item) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let registry () = Domain.DLS.get key
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
 let get name mk match_item =
+  let registry = registry () in
   match Hashtbl.find_opt registry name with
   | Some item -> (
       match match_item item with
@@ -55,17 +63,56 @@ let reset_all () =
       | C c -> c.n <- 0
       | G g -> g.g <- 0.0
       | H h -> Hist.reset h)
-    registry
+    (registry ())
+
+type exported =
+  | Counter of int
+  | Gauge of float
+  | Histogram of Hist.snapshot
+
+type export = (string * exported) list
+
+let export () =
+  let items = ref [] in
+  Hashtbl.iter
+    (fun name item ->
+      let e =
+        match item with
+        | C c -> if c.n = 0 then None else Some (Counter c.n)
+        | G g -> if g.g = 0.0 then None else Some (Gauge g.g)
+        | H h ->
+            let s = Hist.snapshot h in
+            if s.Hist.count = 0 then None else Some (Histogram s)
+      in
+      match e with Some e -> items := (name, e) :: !items | None -> ())
+    (registry ());
+  List.sort (fun (a, _) (b, _) -> compare a b) !items
+
+let absorb (e : export) =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> add (counter name) n
+      | Gauge g -> set_gauge (gauge name) g
+      | Histogram s -> Hist.absorb (histogram name) s)
+    e
 
 let dump () =
+  (* Zero counters/gauges and empty histograms are skipped: they are
+     names left registered by {e earlier} runs on this domain, zeroed by
+     [reset_all] — including them would make a measurement's dump depend
+     on what happened to run before it on the same domain, which breaks
+     byte-identical reports between serial and domain-pooled runs. *)
   let cs = ref [] and gs = ref [] and hs = ref [] in
   Hashtbl.iter
     (fun name item ->
       match item with
-      | C c -> cs := (name, Json.Int c.n) :: !cs
-      | G g -> gs := (name, Json.Float g.g) :: !gs
-      | H h -> hs := (name, Hist.to_json (Hist.snapshot h)) :: !hs)
-    registry;
+      | C c -> if c.n <> 0 then cs := (name, Json.Int c.n) :: !cs
+      | G g -> if g.g <> 0.0 then gs := (name, Json.Float g.g) :: !gs
+      | H h ->
+          let s = Hist.snapshot h in
+          if s.Hist.count <> 0 then hs := (name, Hist.to_json s) :: !hs)
+    (registry ());
   let sorted l = List.sort (fun (a, _) (b, _) -> compare a b) !l in
   Json.Obj
     [

@@ -28,44 +28,54 @@ type cell = {
   mutable pm_read_lines : int;
 }
 
-let cells =
-  Array.init nphases (fun _ ->
-      { fences = 0; clwbs = 0; nt_stores = 0; pm_write_lines = 0;
-        pm_read_lines = 0 })
+(* Each domain gets its own phase state: the harness runs independent
+   simulator instances on separate domains, and the device-layer hooks
+   must never contend.  Per-domain tallies are merged into the parent
+   with {!absorb} when workers join. *)
+type state = { cells : cell array; mutable cur : phase; mutable cur_cell : cell }
 
-let cur = ref Other
-let cur_cell = ref cells.(index Other)
+let mk_state () =
+  let cells =
+    Array.init nphases (fun _ ->
+        { fences = 0; clwbs = 0; nt_stores = 0; pm_write_lines = 0;
+          pm_read_lines = 0 })
+  in
+  { cells; cur = Other; cur_cell = cells.(index Other) }
 
-let current () = !cur
+let key = Domain.DLS.new_key mk_state
+let st () = Domain.DLS.get key
+
+let current () = (st ()).cur
 
 let run p f =
-  let saved = !cur and saved_cell = !cur_cell in
-  cur := p;
-  cur_cell := cells.(index p);
+  let s = st () in
+  let saved = s.cur and saved_cell = s.cur_cell in
+  s.cur <- p;
+  s.cur_cell <- s.cells.(index p);
   Fun.protect
     ~finally:(fun () ->
-      cur := saved;
-      cur_cell := saved_cell)
+      s.cur <- saved;
+      s.cur_cell <- saved_cell)
     f
 
 let on_fence () =
-  let c = !cur_cell in
+  let c = (st ()).cur_cell in
   c.fences <- c.fences + 1
 
 let on_clwb () =
-  let c = !cur_cell in
+  let c = (st ()).cur_cell in
   c.clwbs <- c.clwbs + 1
 
 let on_nt_store () =
-  let c = !cur_cell in
+  let c = (st ()).cur_cell in
   c.nt_stores <- c.nt_stores + 1
 
 let on_pm_write_line () =
-  let c = !cur_cell in
+  let c = (st ()).cur_cell in
   c.pm_write_lines <- c.pm_write_lines + 1
 
 let on_pm_read_line () =
-  let c = !cur_cell in
+  let c = (st ()).cur_cell in
   c.pm_read_lines <- c.pm_read_lines + 1
 
 type counters = {
@@ -79,9 +89,10 @@ type counters = {
 type snapshot = (phase * counters) list
 
 let snapshot () =
+  let s = st () in
   List.map
     (fun p ->
-      let c = cells.(index p) in
+      let c = s.cells.(index p) in
       ( p,
         {
           fences = c.fences;
@@ -100,7 +111,19 @@ let reset () =
       c.nt_stores <- 0;
       c.pm_write_lines <- 0;
       c.pm_read_lines <- 0)
-    cells
+    (st ()).cells
+
+let absorb (snap : snapshot) =
+  let s = st () in
+  List.iter
+    (fun (p, (c : counters)) ->
+      let cell = s.cells.(index p) in
+      cell.fences <- cell.fences + c.fences;
+      cell.clwbs <- cell.clwbs + c.clwbs;
+      cell.nt_stores <- cell.nt_stores + c.nt_stores;
+      cell.pm_write_lines <- cell.pm_write_lines + c.pm_write_lines;
+      cell.pm_read_lines <- cell.pm_read_lines + c.pm_read_lines)
+    snap
 
 let to_json (s : snapshot) =
   Json.Obj

@@ -7,10 +7,15 @@
     {!run} and the device layer calls the [on_*] hooks; the per-phase
     tallies come back with {!snapshot}.
 
-    One global current phase is enough: the simulator is a sequential
-    interpreter, so at most one span is active at a time.  Nested {!run}s
-    attribute to the innermost phase (e.g. a reclamation triggered inside
-    the work phase counts as [Reclaim]). *)
+    One current phase per domain is enough: each simulator instance is a
+    sequential interpreter, so at most one span is active at a time on a
+    domain.  Nested {!run}s attribute to the innermost phase (e.g. a
+    reclamation triggered inside the work phase counts as [Reclaim]).
+
+    All state is domain-local: parallel harness workers (see
+    [Specpmt.Par]) tally into private cells with zero contention, and
+    the pool merges each worker's {!snapshot} back into the parent with
+    {!absorb} at join. *)
 
 type phase = Prepare | Work | Drain | Recover | Reclaim | Other
 
@@ -47,6 +52,10 @@ type snapshot = (phase * counters) list
 
 val snapshot : unit -> snapshot
 val reset : unit -> unit
+
+val absorb : snapshot -> unit
+(** Add a (typically worker-domain) snapshot's counters into the calling
+    domain's tallies, phase by phase. *)
 
 val to_json : snapshot -> Json.t
 (** Object keyed by phase name; phases with all-zero counters are kept so

@@ -6,7 +6,13 @@
     structured events (a static label plus up to two integer arguments);
     the ring keeps the most recent [capacity] of them.  Disabled by
     default — {!emit} is a single branch when off, so production runs pay
-    nothing. *)
+    nothing.
+
+    The ring is domain-local: a freshly spawned domain starts with an
+    empty ring of its parent's capacity, so enabling tracing before
+    fanning out to a domain pool enables it in every worker without any
+    cross-domain contention.  Harvest with {!recent} on the worker that
+    emitted the events. *)
 
 type event = {
   seq : int;  (** monotonically increasing emission index *)

@@ -27,3 +27,4 @@ let all =
 let find name = List.find_opt (fun w -> w.name = name) all
 
 let compute_scale = Wtypes.compute_scale
+let set_compute_scale = Wtypes.set_compute_scale

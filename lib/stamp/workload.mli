@@ -39,6 +39,10 @@ val all : t list
 
 val find : string -> t option
 
-val compute_scale : float ref
-(** Multiplier on the workloads' modelled compute time (see the ablation
-    bench); 1.0 by default. *)
+val compute_scale : unit -> float
+(** The calling domain's multiplier on the workloads' modelled compute
+    time (see the ablation bench); 1.0 by default. *)
+
+val set_compute_scale : float -> unit
+(** Set the calling domain's multiplier (domain-local, so parallel bench
+    workers can measure different scales concurrently). *)

@@ -25,12 +25,18 @@ let mix acc v =
     workloads account for it explicitly.  Without this, crash-consistency
     overheads relative to the raw baseline would be meaninglessly
     inflated. *)
-let compute_scale = ref 1.0
-(** Global multiplier on workload compute charges.  The paper's software
-    figures come from a real machine (deep computation relative to
-    persistence cost) while its hardware figures come from gem5 with
+let compute_scale_key = Domain.DLS.new_key (fun () -> ref 1.0)
+(** Per-domain multiplier on workload compute charges.  The paper's
+    software figures come from a real machine (deep computation relative
+    to persistence cost) while its hardware figures come from gem5 with
     simulator inputs; benchmarks can move this knob to explore that
-    compute-to-persistence sensitivity (see the ablation bench). *)
+    compute-to-persistence sensitivity (see the ablation bench).
+    Domain-local so parallel bench workers can measure different scales
+    concurrently without racing. *)
+
+let compute_scale () = !(Domain.DLS.get compute_scale_key)
+let set_compute_scale v = Domain.DLS.get compute_scale_key := v
 
 let compute heap ns =
-  Specpmt_pmem.Pmem.charge_ns (Heap.pmem heap) (ns *. !compute_scale)
+  Specpmt_pmem.Pmem.charge_ns (Heap.pmem heap)
+    (ns *. !(Domain.DLS.get compute_scale_key))

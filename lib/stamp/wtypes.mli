@@ -16,9 +16,13 @@ type t = {
 val mix : int -> int -> int
 (** Fold a value into a running digest (FNV-style). *)
 
-val compute_scale : float ref
-(** Global multiplier on workload compute charges (see the ablation
-    bench). *)
+val compute_scale : unit -> float
+(** The calling domain's multiplier on workload compute charges (see the
+    ablation bench); 1.0 by default. *)
+
+val set_compute_scale : float -> unit
+(** Set the calling domain's multiplier.  Domain-local so parallel bench
+    workers can measure different scales concurrently. *)
 
 val compute : Heap.t -> float -> unit
 (** Charge algorithmic (non-memory) work to the simulated clock: the STAMP

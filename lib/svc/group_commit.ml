@@ -24,8 +24,6 @@ type t = {
   mutable sealed : int;
 }
 
-let batch_size_hist = lazy (Metrics.histogram "svc.batch_size")
-
 let create ~backend ~rt =
   {
     backend;
@@ -51,7 +49,10 @@ let run t jobs =
       end
       else List.iter (fun f -> t.backend.Ctx.run_tx f) jobs;
       t.batches <- t.batches + 1;
-      Specpmt_obs.Hist.observe (Lazy.force batch_size_hist) n;
+      (* looked up per seal: metric cells are domain-local, and a
+         module-level lazy would capture (and race on) the cell of
+         whichever domain forced it first *)
+      Specpmt_obs.Hist.observe (Metrics.histogram "svc.batch_size") n;
       Metrics.incr (Metrics.counter "svc.batches")
 
 let sealing t = t.sealing

@@ -59,9 +59,6 @@ type t = {
 let shard_of_key t k = k * 2654435761 lsr 13 mod t.cfg.shards
 let key_addr t k = t.base + (k * 8)
 
-let queue_depth_gauge = lazy (Metrics.gauge "svc.queue_depth")
-let rejected_counter = lazy (Metrics.counter "svc.rejected")
-
 let create ?params heap cfg =
   if cfg.shards < 1 || cfg.shards > Spec_mt.max_threads then
     Fmt.invalid_arg "Service.create: 1-%d shards" Spec_mt.max_threads;
@@ -119,7 +116,8 @@ let submit t ~client ~key op =
   let s = t.shard_tbl.(shard_of_key t key) in
   let v = Admission.offer s.adm { client; key; op; enq_ns = now t } in
   (match v with
-  | Admission.Rejected _ -> Metrics.incr (Lazy.force rejected_counter)
+  | Admission.Rejected _ -> (* per-use lookup: metric cells are domain-local *)
+      Metrics.incr (Metrics.counter "svc.rejected")
   | Admission.Accepted -> ());
   v
 
@@ -170,7 +168,7 @@ let drain ?(on_ack = fun (_ : completion) -> ()) t =
     progress := false;
     Array.iter
       (fun s ->
-        Metrics.set_gauge (Lazy.force queue_depth_gauge)
+        Metrics.set_gauge (Metrics.gauge "svc.queue_depth")
           (float_of_int (Admission.queued s.adm));
         match Admission.take_up_to s.adm t.cfg.batch_max with
         | [] -> ()

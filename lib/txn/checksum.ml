@@ -1,20 +1,31 @@
 let poly = 0x82F63B78 (* reflected CRC-32C polynomial *)
 
+(* Eager: a lazy here would race when first forced concurrently from
+   several domains (the parallel harness commits on worker domains). *)
 let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           if !c land 1 = 1 then c := (!c lsr 1) lxor poly
-           else c := !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        if !c land 1 = 1 then c := (!c lsr 1) lxor poly
+        else c := !c lsr 1
+      done;
+      !c)
 
 let crc32c ?(init = 0) b =
-  let table = Lazy.force table in
   let crc = ref (init lxor 0xFFFFFFFF) in
   for i = 0 to Bytes.length b - 1 do
     let idx = (!crc lxor Char.code (Bytes.get b i)) land 0xFF in
+    crc := (!crc lsr 8) lxor table.(idx)
+  done;
+  !crc lxor 0xFFFFFFFF
+
+let crc32c_word init w =
+  (* Bytes must match [words]'s Int64 LE encoding, including the
+     sign-extended top byte of negative tags — hence [asr], not [lsr]. *)
+  let crc = ref (init lxor 0xFFFFFFFF) in
+  for k = 0 to 7 do
+    let byte = (w asr (k * 8)) land 0xFF in
+    let idx = (!crc lxor byte) land 0xFF in
     crc := (!crc lsr 8) lxor table.(idx)
   done;
   !crc lxor 0xFFFFFFFF

@@ -21,7 +21,12 @@ type slot = {
           per-block liveness accounting behind adaptive reclamation *)
 }
 
-type t = { slots : (Addr.t, slot) Hashtbl.t; mutable order : Addr.t list }
+(* the order list carries the slot alongside the address so the commit
+   iteration never re-probes the hashtable *)
+type t = {
+  slots : (Addr.t, slot) Hashtbl.t;
+  mutable order : (Addr.t * slot) list;
+}
 
 let create () = { slots = Hashtbl.create 64; order = [] }
 
@@ -41,16 +46,16 @@ let record t addr ~old_value =
         { old_value; entry_pos = -1; last_value = old_value; entry_block = -1 }
       in
       Hashtbl.replace t.slots addr slot;
-      t.order <- addr :: t.order;
+      t.order <- (addr, slot) :: t.order;
       (slot, true)
 
 let find t addr = Hashtbl.find_opt t.slots addr
 
 (** Iterate cells in first-write order (oldest first). *)
 let iter_in_order t f =
-  List.iter (fun addr -> f addr (Hashtbl.find t.slots addr)) (List.rev t.order)
+  List.iter (fun (addr, slot) -> f addr slot) (List.rev t.order)
 
 (** Iterate cells in reverse first-write order (newest first), the order an
     undo recovery applies compensation in. *)
 let iter_newest_first t f =
-  List.iter (fun addr -> f addr (Hashtbl.find t.slots addr)) t.order
+  List.iter (fun (addr, slot) -> f addr slot) t.order

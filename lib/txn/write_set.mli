@@ -35,7 +35,9 @@ val record : t -> Addr.t -> old_value:int -> slot * bool
 val find : t -> Addr.t -> slot option
 
 val iter_in_order : t -> (Addr.t -> slot -> unit) -> unit
-(** Cells in first-write order, oldest first. *)
+(** Cells in first-write order, oldest first.  The slots ride in the
+    order list itself, so iteration does no hashtable lookups — this is
+    the commit path. *)
 
 val iter_newest_first : t -> (Addr.t -> slot -> unit) -> unit
 (** Reverse order — the order an undo rollback applies compensation in. *)

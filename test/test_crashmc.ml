@@ -38,6 +38,30 @@ let test_deterministic () =
   in
   Alcotest.(check string) "two runs, one report" (j ()) (j ())
 
+(* the domain-pooled sweep is byte-identical to the serial one: same
+   report JSON (cases, passes, failures, repro strings) for any jobs *)
+let test_jobs_identical () =
+  let report ~jobs ~budget scheme =
+    Specpmt_obs.Json.to_string
+      (Crashmc.report_to_json
+         (Crashmc.explore ~jobs ~cells:4 ~txs:2 ~max_writes:2 ~budget ~scheme
+            ~seed:7 ()))
+  in
+  List.iter
+    (fun scheme ->
+      (* exhaustive: every crash point fits the budget *)
+      Alcotest.(check string)
+        (scheme ^ ": exhaustive, jobs 4 == jobs 1")
+        (report ~jobs:1 ~budget:100_000 scheme)
+        (report ~jobs:4 ~budget:100_000 scheme);
+      (* truncated: the budget cuts off mid-sweep, which exercises the
+         parallel reduction's replay of serial budget accounting *)
+      Alcotest.(check string)
+        (scheme ^ ": truncated, jobs 4 == jobs 1")
+        (report ~jobs:1 ~budget:37 scheme)
+        (report ~jobs:4 ~budget:37 scheme))
+    [ "SpecSPMT"; "PMDK" ]
+
 (* a (fuse, choice) pair replays to the same verdict the sweep computed *)
 let test_replay_roundtrip () =
   let r = small_explore "PMDK" in
@@ -88,6 +112,8 @@ let () =
       ( "engine",
         [
           Alcotest.test_case "deterministic report" `Quick test_deterministic;
+          Alcotest.test_case "jobs-independent report" `Slow
+            test_jobs_identical;
           Alcotest.test_case "replay roundtrip" `Quick test_replay_roundtrip;
           Alcotest.test_case "choice encoding roundtrip" `Quick
             test_choice_roundtrip;

@@ -23,6 +23,31 @@ let test_crc_known () =
     "crc32c vector" 0xE3069283
     (Checksum.crc32c (Bytes.of_string "123456789"))
 
+(* the incremental per-word fold (the commit hot path) must agree with
+   the list-based [words] oracle, including sign-extended negatives *)
+let test_crc_word_fold_oracle () =
+  let fold ws = List.fold_left Checksum.crc32c_word 0 ws in
+  Alcotest.(check int) "empty fold = words []" (Checksum.words []) (fold []);
+  List.iter
+    (fun ws ->
+      Alcotest.(check int)
+        (Fmt.str "fold = words %a" Fmt.(Dump.list int) ws)
+        (Checksum.words ws) (fold ws))
+    [
+      [ 0 ];
+      [ 1; 2; 3 ];
+      [ -1 ];
+      [ -2; -1; 0; 1 ];
+      [ min_int; max_int ];
+      [ 0x1234_5678_9ABC; -0x7777; 42 ];
+    ]
+
+let prop_crc_word_fold_oracle =
+  QCheck.Test.make ~name:"crc32c_word fold equals words" ~count:300
+    QCheck.(list_of_size Gen.(0 -- 12) int)
+    (fun ws ->
+      List.fold_left Checksum.crc32c_word 0 ws = Checksum.words ws)
+
 let prop_crc_detects_flip =
   QCheck.Test.make ~name:"crc detects single-word corruption" ~count:200
     QCheck.(pair (list_of_size Gen.(1 -- 10) (int_bound 10000)) small_nat)
@@ -868,6 +893,9 @@ let () =
       ( "checksum",
         [
           Alcotest.test_case "known vector" `Quick test_crc_known;
+          Alcotest.test_case "word-fold oracle" `Quick
+            test_crc_word_fold_oracle;
+          QCheck_alcotest.to_alcotest prop_crc_word_fold_oracle;
           QCheck_alcotest.to_alcotest prop_crc_detects_flip;
         ] );
       ( "write set",
