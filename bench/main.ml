@@ -73,6 +73,13 @@ let svc_rows : Json.t list ref = ref []
 
 let record_svc row = if !json_path <> None then svc_rows := row :: !svc_rows
 
+(* Rows of the data-plane domain sweep (`svc-scale`) — one Dataplane
+   report per domain count, additive `svc_scale` top-level key. *)
+let svc_scale_rows : Json.t list ref = ref []
+
+let record_svc_scale row =
+  if !json_path <> None then svc_scale_rows := row :: !svc_scale_rows
+
 let write_json_report ~wall_s path =
   let seen = Hashtbl.create 64 in
   let results =
@@ -102,6 +109,8 @@ let write_json_report ~wall_s path =
           else [ ("recovery_sweep", Json.List (List.rev !sweep_rows)) ])
        @ (if !svc_rows = [] then []
           else [ ("svc", Json.List (List.rev !svc_rows)) ])
+       @ (if !svc_scale_rows = [] then []
+          else [ ("svc_scale", Json.List (List.rev !svc_scale_rows)) ])
        (* additive harness-timing key: wall-clock of the selected
           experiments, the denominator of the --jobs speedup *)
        @ [ ("wall_s", Json.Float wall_s) ]));
@@ -982,6 +991,90 @@ let svc () =
         s.sh_rejected s.sh_max_inflight)
     r8.shards
 
+(* Domain sweep over the shard-per-domain data plane: the same
+   deterministic op stream at 1, 2 and 4 worker domains.  The invariant
+   section of each report (ops, fences, checksums) must not move; the
+   modelled makespan — the slowest per-domain device clock — must
+   shrink as shards spread over more domains.  Wall clock is reported
+   too but only meaningful on a multi-core host; the runs stay serial
+   (each already spawns its own domains).  Additive `svc_scale` JSON
+   key, one Dataplane report per point. *)
+let svc_scale () =
+  header
+    "Extension: shard-per-domain data plane — domain sweep (lib/svc/dataplane)";
+  let shards = 8 and batch_max = 8 and depth = 64 and keys = 2048 in
+  let ops =
+    match !scale with
+    | Workload.Quick -> 2_000
+    | Workload.Small -> 6_000
+    | Workload.Full -> 20_000
+  in
+  let lg_cfg =
+    (* write-heavy: the log/fence path is what domains parallelize *)
+    { Svc.Loadgen.clients = 48; ops; read_frac = 0.1; skew = 0.9; seed = 42 }
+  in
+  let stream = Svc.Loadgen.op_stream lg_cfg ~keys in
+  let domain_counts =
+    List.filter (fun d -> d <= shards) [ 1; 2; 4 ]
+  in
+  Printf.printf
+    "\ndomain sweep (%d shards, batch_max %d, depth %d, %d ops, 90%% \
+     writes, zipf 0.9):\n"
+    shards batch_max depth ops;
+  Printf.printf "%-8s %12s %14s %12s %12s %10s\n" "domains" "wall ops/s"
+    "modelled ms" "speedup" "p99 wall ns" "stalls";
+  let results =
+    List.map
+      (fun domains ->
+        let pm = Pmem.create ~seed:42 Pmem_config.default in
+        let heap = Heap.create pm in
+        let cfg =
+          {
+            Svc.Dataplane.shards;
+            domains;
+            batch_max;
+            depth;
+            keys;
+            log_region_bytes = Svc.Dataplane.default_log_region_bytes;
+          }
+        in
+        let plane = Svc.Dataplane.create heap cfg in
+        let r = Svc.Dataplane.run plane stream in
+        record_svc_scale (Svc.Dataplane.report_to_json cfg r);
+        (domains, r))
+      domain_counts
+  in
+  let base_ns =
+    match results with
+    | (_, r1) :: _ -> r1.Svc.Dataplane.sim_ns_max
+    | [] -> 1.0
+  in
+  List.iter
+    (fun (domains, r) ->
+      let open Svc.Dataplane in
+      Printf.printf "%-8d %12.0f %14.3f %11.2fx %12d %10d\n" domains
+        r.wall_ops_per_sec (r.sim_ns_max /. 1e6)
+        (base_ns /. r.sim_ns_max)
+        (Obs.Hist.quantile r.wall_latency 0.99)
+        r.router_stalls)
+    results;
+  (* cross-check: the invariant half of every report must be identical *)
+  let fingerprint (_, r) =
+    let open Svc.Dataplane in
+    (r.total_ops, r.reads_sum, r.table_crc, r.fences, r.batches,
+     r.sealed_records)
+  in
+  let fp0 = fingerprint (List.hd results) in
+  let same = List.for_all (fun p -> fingerprint p = fp0) results in
+  Printf.printf
+    "shape: invariant report %s across domain counts; modelled makespan \
+     %.2fx at %d domains\n"
+    (if same then "identical" else "DIVERGES")
+    (match List.rev results with
+    | (_, last) :: _ -> base_ns /. last.Svc.Dataplane.sim_ns_max
+    | [] -> 1.0)
+    (match List.rev results with (d, _) :: _ -> d | [] -> 1)
+
 (* ---------- Bechamel wall-clock microbenches ---------- *)
 
 let bechamel () =
@@ -1076,6 +1169,7 @@ let all_experiments =
     ("recovery", recovery);
     ("recovery-sweep", recovery_sweep);
     ("svc", svc);
+    ("svc-scale", svc_scale);
     ("eadr", eadr);
     ("hotness", hotness);
     ("bechamel", bechamel);

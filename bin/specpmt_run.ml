@@ -449,8 +449,21 @@ let svc_bench_cmd =
   let keys_arg =
     Arg.(value & opt int 4096 & info [ "keys" ] ~doc:"KV table size.")
   in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ]
+          ~doc:
+            "Run the shard-per-domain data plane on this many worker \
+             domains (1..shards) instead of the serial in-process \
+             service.  Reports measured wall-clock ops/sec and latency \
+             percentiles alongside the modelled device time; the \
+             $(b,invariant) JSON section is byte-identical for any \
+             domain count.  0 (default) keeps the serial closed-loop \
+             path.")
+  in
   let run scheme shards batches depth mix skew clients ops keys seed reclaim
-      recovery jobs json =
+      recovery jobs domains json =
     let fail fmt = Fmt.kpf (fun _ -> exit 2) Fmt.stderr fmt in
     if jobs < 1 then fail "specpmt_run: --jobs must be at least 1@.";
     let batches =
@@ -471,6 +484,55 @@ let svc_bench_cmd =
     let params =
       Option.value ~default:base (spec_params_override ~reclaim ~recovery base)
     in
+    if domains > 0 then begin
+      (* shard-per-domain data plane: one worker domain per shard group,
+         measured wall clock alongside the modelled device time *)
+      let batch =
+        match batches with
+        | [ b ] -> b
+        | _ -> fail "specpmt_run: --domains takes a single --batch value@."
+      in
+      if domains > shards then
+        fail "specpmt_run: --domains must be at most --shards@.";
+      Obs.Phase.reset ();
+      Obs.Metrics.reset_all ();
+      let pm =
+        Pmem.create ~seed
+          { Pmem_config.default with mem_size = 64 * 1024 * 1024 }
+      in
+      let heap = Heap.create pm in
+      let cfg =
+        {
+          Svc.Dataplane.shards;
+          domains;
+          batch_max = batch;
+          depth;
+          keys;
+          log_region_bytes = Svc.Dataplane.default_log_region_bytes;
+        }
+      in
+      let dp = Svc.Dataplane.create ~params heap cfg in
+      let stream =
+        Svc.Loadgen.op_stream
+          { Svc.Loadgen.clients; ops; read_frac = mix; skew; seed }
+          ~keys
+      in
+      let report = Svc.Dataplane.run dp stream in
+      Fmt.pr "%a" Svc.Dataplane.pp (cfg, report);
+      Option.iter
+        (fun path ->
+          Json.to_file path
+            (Json.Obj
+               [
+                 ("schema_version", Json.Int Run.schema_version);
+                 ("generator", Json.Str "specpmt-svc-dataplane");
+                 ("scheme", Json.Str scheme);
+                 ("report", Svc.Dataplane.report_to_json cfg report);
+               ]);
+          Fmt.pr "wrote JSON report to %s@." path)
+        json
+    end
+    else begin
     (* One independent service instance per batch size; the sweep points
        share nothing, so they parallelize trivially and the reports are
        the same for any --jobs. *)
@@ -486,34 +548,47 @@ let svc_bench_cmd =
         Svc.Service.create ~params heap
           { Svc.Service.shards; batch_max = batch; depth; keys }
       in
-      Svc.Loadgen.run svc
-        { Svc.Loadgen.clients; ops; read_frac = mix; skew; seed }
+      let w0 = Unix.gettimeofday () in
+      let r =
+        Svc.Loadgen.run svc
+          { Svc.Loadgen.clients; ops; read_frac = mix; skew; seed }
+      in
+      (r, Unix.gettimeofday () -. w0)
     in
     let reports = Par.map_list ~jobs run_one batches in
     let sweep = List.length batches > 1 in
     List.iter2
-      (fun batch report ->
+      (fun batch (report, wall_s) ->
         if sweep then Fmt.pr "--- batch %d ---@." batch;
-        Fmt.pr "%a" Svc.Loadgen.pp report)
+        Fmt.pr "%a" Svc.Loadgen.pp report;
+        Fmt.pr "  measured: %.3f s wall, %.0f ops/s@." wall_s
+          (if wall_s > 0.0 then
+             float_of_int report.Svc.Loadgen.total_ops /. wall_s
+           else 0.0))
       batches reports;
     Option.iter
       (fun path ->
+        (* wall keys are additive and timing-dependent: strip them (like
+           span_ns) before diffing reports across runs or job counts *)
+        let point (report, wall_s) =
+          ( ("report", Svc.Loadgen.report_to_json report),
+            ("wall_s", Json.Float wall_s) )
+        in
         let body =
           match (batches, reports) with
-          | [ _ ], [ report ] ->
+          | [ _ ], [ r ] ->
               (* single point: the pre-sweep report shape, unchanged *)
-              [ ("report", Svc.Loadgen.report_to_json report) ]
+              let rep, wall = point r in
+              [ rep; wall ]
           | _ ->
               [
                 ( "reports",
                   Json.List
                     (List.map2
-                       (fun batch report ->
+                       (fun batch r ->
+                         let rep, wall = point r in
                          Json.Obj
-                           [
-                             ("batch", Json.Int batch);
-                             ("report", Svc.Loadgen.report_to_json report);
-                           ])
+                           [ ("batch", Json.Int batch); rep; wall ])
                        batches reports) );
               ]
         in
@@ -527,6 +602,7 @@ let svc_bench_cmd =
              @ body));
         Fmt.pr "wrote JSON report to %s@." path)
       json
+    end
   in
   Cmd.v
     (Cmd.info "svc-bench"
@@ -536,7 +612,7 @@ let svc_bench_cmd =
     Term.(
       const run $ scheme_arg $ shards_arg $ batch_arg $ depth_arg $ mix_arg
       $ skew_arg $ clients_arg $ ops_arg $ keys_arg $ seed_arg $ reclaim_arg
-      $ recovery_arg $ jobs_arg $ json_arg)
+      $ recovery_arg $ jobs_arg $ domains_arg $ json_arg)
 
 let () =
   let info = Cmd.info "specpmt_run" ~doc:"SpecPMT workload runner" in

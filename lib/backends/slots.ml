@@ -17,14 +17,21 @@ let hashlog_table = 15
 let hashlog_committed_ts = 16
 let hashlog_capacity = 17
 
-(* per-thread speculative log heads for the multi-threaded runtime: one
-   root slot per thread, everything from here to the end of the root
-   area — the thread cap is the slot budget, not a hard-coded 3 *)
-let spec_mt_first = 18
+(* Per-thread speculative log heads for the multi-threaded runtime: one
+   root slot per thread, strided one cache line (8 slots) apart.  Heads
+   are published (store + clwb + fence) from the thread's owning domain;
+   with the simulated media written back whole lines at a time, two
+   heads sharing a line would overwrite each other when published from
+   different domains.  [spec_mt_first = 24] puts head 0 at byte
+   64 + 24*8 = 256 — line-aligned — and the stride keeps every further
+   head on its own line.  The thread cap is the slot budget, not a
+   hard-coded 3. *)
+let spec_mt_first = 24
+let spec_mt_stride = 8
 
 let spec_mt_max_threads =
-  Specpmt_pmalloc.Layout.root_slot_count - spec_mt_first
+  (Specpmt_pmalloc.Layout.root_slot_count - spec_mt_first) / spec_mt_stride
 
 let spec_mt_head i =
   if i < 0 || i >= spec_mt_max_threads then invalid_arg "Slots.spec_mt_head";
-  spec_mt_first + i
+  spec_mt_first + (i * spec_mt_stride)

@@ -17,10 +17,14 @@ val hashlog_capacity : int
 val spec_mt_first : int
 (** First root slot of the per-thread speculative log heads. *)
 
+val spec_mt_stride : int
+(** Slot stride between consecutive heads: one cache line, so heads can
+    be published from different domains without sharing a media line. *)
+
 val spec_mt_max_threads : int
-(** Threads the root area can host: every slot from {!spec_mt_first} to
-    the end of the root area holds one per-thread log head. *)
+(** Threads the root area can host: one line-strided slot per thread
+    from {!spec_mt_first} to the end of the root area. *)
 
 val spec_mt_head : int -> int
 (** Per-thread speculative log heads of the multi-threaded runtime
-    (0..[spec_mt_max_threads - 1]). *)
+    (0..[spec_mt_max_threads - 1]), each on its own cache line. *)

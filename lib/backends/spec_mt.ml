@@ -9,18 +9,28 @@ type t = {
   tsc : Tsc.t;
   backends : Ctx.backend array;
   runtimes : Spec_soft.t array;
+  runtime_heaps : Heap.t array option;
+      (* partitioned pools: thread [i]'s log blocks come from its own
+         carved sub-heap (whose pm is that domain's view of the media) *)
 }
 
 let head_slot i = Slots.spec_mt_head i
 let max_threads = Slots.spec_mt_max_threads
 
-let create ?(params = Spec_soft.default_params) heap ~threads =
+let create ?(params = Spec_soft.default_params) ?runtime_heaps heap ~threads =
   if threads < 1 || threads > max_threads then
     Fmt.invalid_arg "Spec_mt.create: 1-%d threads" max_threads;
+  (match runtime_heaps with
+  | Some a when Array.length a <> threads ->
+      invalid_arg "Spec_mt.create: runtime_heaps length <> threads"
+  | _ -> ());
   let tsc = Tsc.create () in
+  let rt_heap i =
+    match runtime_heaps with Some a -> a.(i) | None -> heap
+  in
   let pairs =
     Array.init threads (fun i ->
-        Spec_soft.create ~head_slot:(head_slot i) ~tsc heap params)
+        Spec_soft.create ~head_slot:(head_slot i) ~tsc (rt_heap i) params)
   in
   {
     heap;
@@ -29,11 +39,13 @@ let create ?(params = Spec_soft.default_params) heap ~threads =
     tsc;
     backends = Array.map fst pairs;
     runtimes = Array.map snd pairs;
+    runtime_heaps;
   }
 
 let thread t i = t.backends.(i)
 let runtime t i = t.runtimes.(i)
 let threads t = Array.length t.backends
+let tsc t = t.tsc
 
 (* Multi-threaded recovery (Sections 4.1 and 5.2.2).  Per-thread logs are
    independently valid-prefix'd, but only the commit timestamps order
@@ -50,6 +62,11 @@ let recover t =
   let open Specpmt_obs in
   Phase.run Phase.Recover @@ fun () ->
   Heap.recover t.heap;
+  (* partitioned pools: each sub-heap rebuilds its own free lists from
+     the shared image before the per-thread arenas reattach through it *)
+  (match t.runtime_heaps with
+  | Some heaps -> Array.iter Heap.recover heaps
+  | None -> ());
   let bb = t.params.Spec_soft.block_bytes in
   let max_ts = ref 0 in
   (match t.params.Spec_soft.recovery with

@@ -24,8 +24,23 @@ val max_threads : int
 (** Largest thread count {!create} accepts — one reserved root slot per
     thread ({!Specpmt_backends.Slots.spec_mt_max_threads}). *)
 
-val create : ?params:Spec_soft.params -> Heap.t -> threads:int -> t
-(** Up to {!max_threads} threads (one reserved root slot each). *)
+val create :
+  ?params:Spec_soft.params ->
+  ?runtime_heaps:Heap.t array ->
+  Heap.t ->
+  threads:int ->
+  t
+(** Up to {!max_threads} threads (one reserved line-strided root slot
+    each).  [runtime_heaps], when given (length = [threads]), places
+    thread [i]'s runtime — its log blocks and allocator traffic — on its
+    own carved sub-heap instead of the shared pool heap: the
+    partitioning the shard-per-domain data plane needs so worker domains
+    never allocate through a shared bump pointer or touch each other's
+    cache lines.  The pool heap remains the recovery-side attachment
+    point either way. *)
+
+val tsc : t -> Specpmt_txn.Tsc.t
+(** The shared (atomic) commit-timestamp counter of the pool. *)
 
 val thread : t -> int -> Ctx.backend
 (** The transactional interface of one thread. *)

@@ -86,3 +86,55 @@ let map_list ?jobs ?chunk ?init f xs =
   let arr = Array.of_list xs in
   run ?jobs ?chunk ?init ~n:(Array.length arr) (fun i -> f arr.(i))
   |> Array.to_list
+
+(* Long-lived workers: the pipeline shape (a coordinator exchanging
+   messages with resident domains) rather than run's fan-out shape.
+   The lifecycle contract is the same — each worker accumulates
+   observability in its own domain-local registry, and join merges it
+   into the caller's — so a dataplane worker gets the metrics story of
+   a Par.run job for free. *)
+type 'a worker = {
+  dom : ('a outcome * Metrics.export * Phase.snapshot) Domain.t;
+}
+
+and 'a outcome =
+  | Ok_ of 'a
+  | Err of exn * Printexc.raw_backtrace
+
+let spawn f =
+  {
+    dom =
+      Domain.spawn (fun () ->
+          let outcome =
+            match f () with
+            | v -> Ok_ v
+            | exception exn -> Err (exn, Printexc.get_raw_backtrace ())
+          in
+          (outcome, Metrics.export (), Phase.snapshot ()));
+  }
+
+let join w =
+  let outcome, m, p = Domain.join w.dom in
+  Metrics.absorb m;
+  Phase.absorb p;
+  match outcome with
+  | Ok_ v -> v
+  | Err (exn, bt) -> Printexc.raise_with_backtrace exn bt
+
+(* Join every worker (observability from all of them, in array order)
+   before re-raising the lowest-index failure — a partial join would
+   leave domains running and their metrics lost. *)
+let join_all ws =
+  let outcomes =
+    Array.map
+      (fun w ->
+        let outcome, m, p = Domain.join w.dom in
+        Metrics.absorb m;
+        Phase.absorb p;
+        outcome)
+      ws
+  in
+  Array.iter
+    (function Err (exn, bt) -> Printexc.raise_with_backtrace exn bt | Ok_ _ -> ())
+    outcomes;
+  Array.map (function Ok_ v -> v | Err _ -> assert false) outcomes

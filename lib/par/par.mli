@@ -70,3 +70,29 @@ val run :
 val map_list :
   ?jobs:int -> ?chunk:int -> ?init:(unit -> unit) -> ('a -> 'b) -> 'a list -> 'b list
 (** [map_list f xs] is {!run} over a list, preserving order. *)
+
+(** {1 Long-lived workers}
+
+    {!run} is the fan-out shape: a fixed range of independent jobs.
+    Pipelines — a coordinator exchanging messages with resident domains,
+    like the shard-per-domain data plane — need workers that live until
+    told to stop.  {!spawn}/{!join} give them the same observability
+    lifecycle as {!run} jobs: each worker accumulates metrics and phase
+    tallies in its own domain-local registry, and the join merges them
+    into the calling domain's. *)
+
+type 'a worker
+
+val spawn : (unit -> 'a) -> 'a worker
+(** Spawn one resident worker domain.  The worker's exception (if any)
+    is captured with its backtrace and re-raised at {!join}. *)
+
+val join : 'a worker -> 'a
+(** Join one worker, absorbing its metrics/phase tallies into the
+    caller's registry first, then returning its result or re-raising its
+    failure. *)
+
+val join_all : 'a worker array -> 'a array
+(** Join every worker in array order — all observability is absorbed
+    before the lowest-index failure (if any) is re-raised, so no
+    domain is left running and no worker's tallies are lost. *)

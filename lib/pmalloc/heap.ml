@@ -16,12 +16,24 @@ let class_of n =
   in
   find 0
 
+(* A heap is an allocator over a byte range [lo, hi) of the device: the
+   data zone bumps up from [lo], the log zone bumps down from [hi], and
+   the two bump pointers live in dedicated persistent cells.  The pool
+   root heap spans [Layout.heap_base, mem_size) with its bump cells in
+   the root area; carved sub-heaps span a line-aligned region inside a
+   parent allocation with their cells in the region's first line —
+   which is what lets every shard domain run its own allocator over its
+   own cache lines with no shared mutable cells. *)
 type t = {
   pm : Pmem.t;
+  lo : int; (* first byte of the data zone *)
+  hi : int; (* end of the region; log zone grows downward from here *)
+  bump_cell : Addr.t;
+  log_bump_cell : Addr.t;
   free_lists : (int, Addr.t list ref) Hashtbl.t; (* class size -> blocks *)
   log_free_lists : (int, Addr.t list ref) Hashtbl.t;
   mutable bump : int;
-  mutable log_bump : int; (* log zone grows downward from the pool end *)
+  mutable log_bump : int;
   mutable freed : int; (* bytes on free lists *)
 }
 
@@ -37,23 +49,35 @@ let read_header t addr =
 
 let pmem t = t.pm
 
+let mk pm ~lo ~hi ~bump_cell ~log_bump_cell =
+  {
+    pm;
+    lo;
+    hi;
+    bump_cell;
+    log_bump_cell;
+    free_lists = Hashtbl.create 32;
+    log_free_lists = Hashtbl.create 32;
+    bump = lo;
+    log_bump = hi;
+    freed = 0;
+  }
+
+let root_geometry pm =
+  ( Layout.heap_base,
+    Pmem.mem_size pm,
+    (Layout.heap_bump : Addr.t),
+    (Layout.log_bump : Addr.t) )
+
 let create pm =
   if Pmem.peek_media_int pm Layout.magic = Layout.magic_value then
     invalid_arg "Heap.create: pool already formatted";
-  let t =
-    {
-      pm;
-      free_lists = Hashtbl.create 32;
-      log_free_lists = Hashtbl.create 32;
-      bump = Layout.heap_base;
-      log_bump = Pmem.mem_size pm;
-      freed = 0;
-    }
-  in
+  let lo, hi, bump_cell, log_bump_cell = root_geometry pm in
+  let t = mk pm ~lo ~hi ~bump_cell ~log_bump_cell in
   Pmem.with_unmetered pm (fun () ->
       Pmem.store_int pm Layout.magic Layout.magic_value;
-      Pmem.store_int pm Layout.heap_bump t.bump;
-      Pmem.store_int pm Layout.log_bump t.log_bump;
+      Pmem.store_int pm bump_cell t.bump;
+      Pmem.store_int pm log_bump_cell t.log_bump;
       for i = 0 to Layout.root_slot_count - 1 do
         Pmem.store_int pm (Layout.root_slot i) 0
       done;
@@ -76,19 +100,13 @@ let push_free t size addr =
   push_free_into t.free_lists addr size;
   t.freed <- t.freed + size
 
-let open_existing pm =
-  if Pmem.peek_media_int pm Layout.magic <> Layout.magic_value then
-    invalid_arg "Heap.open_existing: no formatted pool";
-  let t =
-    {
-      pm;
-      free_lists = Hashtbl.create 32;
-      log_free_lists = Hashtbl.create 32;
-      bump = Layout.heap_base;
-      log_bump = Pmem.mem_size pm;
-      freed = 0;
-    }
-  in
+(* Rebuild the volatile allocator state of [t] from its persistent
+   headers and bump cells: the common engine behind {!open_existing},
+   {!recover} and {!of_region_existing}. *)
+let rebuild t =
+  Hashtbl.reset t.free_lists;
+  Hashtbl.reset t.log_free_lists;
+  t.freed <- 0;
   (* volatile walks below; both zones share the header format *)
   let walk ~from ~upto ~on_free =
     let pos = ref from in
@@ -107,43 +125,38 @@ let open_existing pm =
     done;
     !pos
   in
-  let bump = Pmem.peek_media_int pm Layout.heap_bump in
-  t.bump <-
-    walk ~from:Layout.heap_base ~upto:bump ~on_free:(fun a s ->
-        push_free t s a);
-  let log_bump = Pmem.peek_media_int pm Layout.log_bump in
-  if log_bump > t.bump && log_bump <= Pmem.mem_size pm then begin
+  let bump = Pmem.peek_media_int t.pm t.bump_cell in
+  let bump = if bump < t.lo || bump > t.hi then t.lo else bump in
+  t.bump <- walk ~from:t.lo ~upto:bump ~on_free:(fun a s -> push_free t s a);
+  t.log_bump <- t.hi;
+  let log_bump = Pmem.peek_media_int t.pm t.log_bump_cell in
+  if log_bump > t.bump && log_bump <= t.hi then begin
     ignore
-      (walk ~from:log_bump ~upto:(Pmem.mem_size pm) ~on_free:(fun a s ->
+      (walk ~from:log_bump ~upto:t.hi ~on_free:(fun a s ->
            push_free_into t.log_free_lists a s));
     t.log_bump <- log_bump
   end;
-  Pmem.with_unmetered pm (fun () ->
-      Pmem.store_int pm Layout.heap_bump t.bump;
-      Pmem.store_int pm Layout.log_bump t.log_bump);
+  Pmem.with_unmetered t.pm (fun () ->
+      Pmem.store_int t.pm t.bump_cell t.bump;
+      Pmem.store_int t.pm t.log_bump_cell t.log_bump)
+
+let open_existing pm =
+  if Pmem.peek_media_int pm Layout.magic <> Layout.magic_value then
+    invalid_arg "Heap.open_existing: no formatted pool";
+  let lo, hi, bump_cell, log_bump_cell = root_geometry pm in
+  let t = mk pm ~lo ~hi ~bump_cell ~log_bump_cell in
+  rebuild t;
   t
 
-let recover t =
-  Hashtbl.reset t.free_lists;
-  Hashtbl.reset t.log_free_lists;
-  t.freed <- 0;
-  let fresh = open_existing t.pm in
-  t.bump <- fresh.bump;
-  t.log_bump <- fresh.log_bump;
-  Hashtbl.iter (fun k v -> Hashtbl.replace t.free_lists k v) fresh.free_lists;
-  Hashtbl.iter
-    (fun k v -> Hashtbl.replace t.log_free_lists k v)
-    fresh.log_free_lists;
-  t.freed <- fresh.freed
+let recover t = rebuild t
 
-(* Allocator metadata is made persistent eagerly: the header and bump
-   cells are flushed on allocation (persistent on write-pending-queue
-   acceptance, no fence).  A crash can therefore only leak blocks of
-   uncommitted transactions — never let the recovery walk regress the bump
-   pointer over live data.  Frees are persisted too, but transactional
-   code must only free at commit (the backends defer [ctx.free]). *)
-let persist_cell t a =
-  Pmem.clwb t.pm a
+(* Carved sub-heap regions.  The first line of a region holds its two
+   bump cells; the data zone starts at the next line and the log zone
+   grows down from the region end.  Region bounds are line-aligned so
+   two regions (or a region and its parent) never share a cache line —
+   the partitioning invariant per-domain {!Specpmt_pmem.Pmem.fork_view}s
+   rely on. *)
+type region = { r_lo : Addr.t; r_hi : Addr.t }
 
 let alloc t n =
   if n <= 0 then Fmt.invalid_arg "Heap.alloc %d" n;
@@ -157,19 +170,58 @@ let alloc t n =
       l := rest;
       t.freed <- t.freed - size;
       write_header t addr size ~allocated:true;
-      persist_cell t (addr - 8);
+      Pmem.clwb t.pm (addr - 8);
       addr
   | Some { contents = [] } | None ->
       let addr = t.bump + 8 in
       if addr + size > t.log_bump then raise Out_of_memory;
       t.bump <- addr + size;
       write_header t addr size ~allocated:true;
-      persist_cell t (addr - 8);
-      Pmem.store_int t.pm Layout.heap_bump t.bump;
-      persist_cell t Layout.heap_bump;
+      Pmem.clwb t.pm (addr - 8);
+      Pmem.store_int t.pm t.bump_cell t.bump;
+      Pmem.clwb t.pm t.bump_cell;
       addr
 
-(* Log-zone allocation: grows downward from the pool end, keeping log
+let carve_region t ~bytes =
+  if bytes <= 0 then Fmt.invalid_arg "Heap.carve_region %d" bytes;
+  let rounded = Addr.align_up bytes Addr.line_size in
+  (* cells line + data + alignment slack *)
+  let raw = alloc t (rounded + (2 * Addr.line_size)) in
+  let lo = Addr.align_up raw Addr.line_size in
+  { r_lo = lo; r_hi = lo + Addr.line_size + rounded }
+
+let region_geometry region =
+  ( region.r_lo + Addr.line_size,
+    region.r_hi,
+    (region.r_lo : Addr.t),
+    (region.r_lo + 8 : Addr.t) )
+
+let of_region pm region =
+  let lo, hi, bump_cell, log_bump_cell = region_geometry region in
+  if hi - lo < Addr.line_size then invalid_arg "Heap.of_region: region too small";
+  let t = mk pm ~lo ~hi ~bump_cell ~log_bump_cell in
+  Pmem.with_unmetered pm (fun () ->
+      Pmem.store_int pm bump_cell t.bump;
+      Pmem.store_int pm log_bump_cell t.log_bump;
+      Pmem.clwb pm bump_cell;
+      Pmem.sfence pm);
+  t
+
+let of_region_existing pm region =
+  let lo, hi, bump_cell, log_bump_cell = region_geometry region in
+  let t = mk pm ~lo ~hi ~bump_cell ~log_bump_cell in
+  rebuild t;
+  t
+
+(* Allocator metadata is made persistent eagerly: the header and bump
+   cells are flushed on allocation (persistent on write-pending-queue
+   acceptance, no fence).  A crash can therefore only leak blocks of
+   uncommitted transactions — never let the recovery walk regress the bump
+   pointer over live data.  Frees are persisted too, but transactional
+   code must only free at commit (the backends defer [ctx.free]). *)
+let persist_cell t a = Pmem.clwb t.pm a
+
+(* Log-zone allocation: grows downward from the region end, keeping log
    blocks physically segregated from application data — the dedicated log
    area of the paper's designs.  Interleaving them in one bump zone would
    scatter application allocations across pages and wreck the page-level
@@ -194,8 +246,8 @@ let alloc_log t n =
       t.log_bump <- base;
       write_header t addr size ~allocated:true;
       persist_cell t (addr - 8);
-      Pmem.store_int t.pm Layout.log_bump t.log_bump;
-      persist_cell t Layout.log_bump;
+      Pmem.store_int t.pm t.log_bump_cell t.log_bump;
+      persist_cell t t.log_bump_cell;
       addr
 
 let free t addr =
@@ -217,5 +269,5 @@ let register_free t addr =
 
 let usable_size t addr = fst (read_header t addr)
 let root_slot _t i = Layout.root_slot i
-let used_bytes t = t.bump - Layout.heap_base
+let used_bytes t = t.bump - t.lo
 let live_bytes t = used_bytes t - t.freed

@@ -63,3 +63,31 @@ val recover : t -> unit
 (** Rebuild volatile allocator state by walking the persistent headers.
     Blocks whose header was lost in the crash (never drained to the media)
     are treated as free space beyond the last recoverable header. *)
+
+(** {1 Carved sub-heap regions}
+
+    A region is a line-aligned byte range carved out of a parent heap
+    and run as an independent allocator: its bump cells live in the
+    region's first cache line, its data zone bumps up from the second
+    line, and its log zone bumps down from the region end.  Because the
+    bounds are line-aligned, a sub-heap and its parent (or two
+    sub-heaps) never share a cache line — per-shard sub-heaps can
+    therefore allocate through incoherent per-domain
+    {!Specpmt_pmem.Pmem.fork_view}s of the same media. *)
+
+type region = { r_lo : Addr.t; r_hi : Addr.t }
+
+val carve_region : t -> bytes:int -> region
+(** Allocate a line-aligned region with at least [bytes] usable bytes
+    (after the cells line) from the parent's data zone.  The region is
+    raw until formatted with {!of_region}. *)
+
+val of_region : Pmem.t -> region -> t
+(** Format a carved region as a fresh sub-heap and attach it through
+    [pm] — typically a per-domain view of the parent's media.  No magic
+    is written; regions are reached through their parent's structures. *)
+
+val of_region_existing : Pmem.t -> region -> t
+(** Attach to a previously formatted region, rebuilding the volatile
+    free lists from its persistent headers (the {!open_existing} of
+    sub-heaps). *)

@@ -10,7 +10,13 @@ let magic_value = 0x53504D54 (* "SPMT" *)
 let magic = 0
 let heap_bump = 8
 let log_bump = 16
-let root_slot_count = 64
+
+(* 256 slots (2 KiB of the 4 KiB root area, starting at byte 64): large
+   enough that the multi-threaded backends can stride their per-thread
+   log-head slots one cache line apart — a prerequisite for publishing
+   heads from different domains, where two heads sharing a line would
+   clobber each other on whole-line media write-back. *)
+let root_slot_count = 256
 
 (** Persistent root pointer slots available to transaction backends and
     applications (log heads, commit markers, application roots...). *)

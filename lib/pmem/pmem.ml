@@ -57,6 +57,55 @@ let create ?(seed = 42) cfg =
     trace_pos = 0;
   }
 
+(* A per-domain view of the same media: shares the [media] image (and
+   the immutable config) but owns a private cache, write-pending queue,
+   stats clock and fuse.  This is the simulator's model of one core's
+   cache hierarchy over shared PM.  Views are NOT coherent — the model
+   writes media back whole lines — so callers must partition the image:
+   a line written through one view must never be touched through
+   another until the owning view has been detached. *)
+let fork_view ?(seed = 43) t =
+  {
+    t with
+    cache = Hashtbl.create 4096;
+    order = Queue.create ();
+    stats = Stats.create ();
+    rng = Random.State.make [| seed; 0x5ec; 0x9a7e |];
+    pending = [];
+    last_completion = 0.0;
+    last_persist_line = -10;
+    last_read_line = -10;
+    fuse = None;
+    events = 0;
+    metered = true;
+    crashed = false;
+    trace = None;
+    trace_pos = 0;
+  }
+
+(* Write every dirty cached line back to media and empty the cache —
+   the handoff fence when line ownership moves between views (e.g. a
+   worker domain joining, or a parent forking views over lines it
+   formatted).  A simulation-boundary operation: no stats, no WPQ, no
+   fuse events. *)
+let detach_cache t =
+  Hashtbl.iter
+    (fun li line ->
+      if line.dirty then
+        Bytes.blit line.data 0 t.media (li * Addr.line_size) Addr.line_size)
+    t.cache;
+  Hashtbl.reset t.cache;
+  Queue.clear t.order;
+  t.pending <- []
+
+(* Drop the cache without any write-back: the crash counterpart of
+   {!detach_cache} — everything this view had not yet persisted is
+   lost, exactly as a power failure would lose one core's caches. *)
+let discard_cache t =
+  Hashtbl.reset t.cache;
+  Queue.clear t.order;
+  t.pending <- []
+
 let config t = t.cfg
 let stats t = t.stats
 let mem_size t = t.cfg.Config.mem_size

@@ -33,6 +33,33 @@ val create : ?seed:int -> Config.t -> t
 val config : t -> Config.t
 val stats : t -> Stats.t
 
+(** {1 Per-domain views}
+
+    A view models one core's cache hierarchy over the shared media: it
+    shares the media image with its parent but owns a private cache,
+    write-pending queue, simulated clock and fuse.  Views are {b not}
+    coherent — dirty lines write back whole, so the image must be
+    partitioned by cache line: a line written through one view must not
+    be touched through any other until the owner has been
+    {!detach_cache}d.  The shard-per-domain data plane gives each worker
+    domain one view and line-disjoint log/key regions. *)
+
+val fork_view : ?seed:int -> t -> t
+(** New view over the same media.  Fresh stats/clock (per-domain time),
+    fresh empty cache.  Fork only when the parent's cache holds nothing
+    the view will touch ({!detach_cache} the parent first). *)
+
+val detach_cache : t -> unit
+(** Write every dirty cached line back to media and empty the cache —
+    the ownership-handoff fence between views (worker join, or parent
+    handing formatted lines to freshly forked views).  A
+    simulation-boundary operation: unmetered, no fuse events. *)
+
+val discard_cache : t -> unit
+(** Drop the cache without write-back: the crash counterpart of
+    {!detach_cache}.  Unpersisted stores in this view are lost, as a
+    power failure would lose one core's caches. *)
+
 (** {1 Data access} *)
 
 val load_int : t -> Addr.t -> int

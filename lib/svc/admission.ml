@@ -47,9 +47,14 @@ let take_up_to t n =
   in
   go [] n
 
-(* acknowledged only once their batch's fence has retired *)
+(* Acknowledged only once their batch's fence has retired.  The bounds
+   check is a real runtime check, not an [assert]: compiled with
+   [-noassert] a double-ack would silently drive [inflight] negative and
+   the shard would admit without bound from then on. *)
 let ack t n =
-  assert (n >= 0 && n <= t.inflight);
+  if n < 0 || n > t.inflight then
+    invalid_arg
+      (Printf.sprintf "Admission.ack: %d acks with %d inflight" n t.inflight);
   t.inflight <- t.inflight - n;
   t.acked <- t.acked + n
 

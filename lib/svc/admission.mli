@@ -25,7 +25,9 @@ val take_up_to : 'a t -> int -> 'a list
     requests stay inflight until {!ack}. *)
 
 val ack : 'a t -> int -> unit
-(** Acknowledge [n] executing requests (their commit fence retired). *)
+(** Acknowledge [n] executing requests (their commit fence retired).
+    Raises [Invalid_argument] if [n < 0] or [n] exceeds the inflight
+    count — a double-ack would otherwise unbound admission. *)
 
 val clear : 'a t -> unit
 (** Post-crash: drop queued requests and zero the inflight count — they

@@ -1,0 +1,537 @@
+open Specpmt_pmem
+open Specpmt_pmalloc
+open Specpmt_backends
+module Hist = Specpmt_obs.Hist
+module Json = Specpmt_obs.Json
+module Par = Specpmt_par.Par
+
+(* The shard-per-domain data plane: a router domain forms batches from a
+   deterministic op stream and hands them over SPSC rings to worker
+   domains, each of which owns a group of shards — their Spec_soft
+   runtimes, group-commit batchers and one incoherent Pmem view of the
+   shared media.
+
+   Ownership discipline (the whole correctness argument):
+
+   - The media image is partitioned by cache line.  Each shard owns its
+     key cells (a line-aligned region), its log blocks (a carved
+     sub-heap region) and its log-head root slot (line-strided); a
+     worker domain touches only lines of its own shards, through its
+     own view.  The parent view's cache is detached (written back and
+     emptied) before the views fork, and each view is detached at clean
+     join, so no line is ever cached by two views with one of them
+     dirty.
+   - Admission, batch formation and ack accounting live on the router
+     domain only.  Batch composition is positional in the stream —
+     flush at [batch_max], partials at stream end — so the set of
+     batches per shard is a pure function of (stream, config), never of
+     domain count or timing: the invariant section of the report is
+     byte-identical from 1 domain to N.
+   - The shared Tsc is atomic; it is the only mutable state two worker
+     domains both touch.
+
+   Crash story: worker caches model per-core volatile caches.  A halted
+   run ([~halt_after_batches]) stops the router mid-stream and the
+   workers exit WITHOUT detaching — then {!crash} discards every view
+   cache, losing exactly the unflushed in-place updates, and
+   {!recover} replays the sealed log records against the single shared
+   image through the parent view, exactly as Spec_mt.recover would
+   after a real power failure. *)
+
+type config = {
+  shards : int;
+  domains : int;  (** worker domains; shard [s] runs on domain [s mod domains] *)
+  batch_max : int;
+  depth : int;  (** per-shard inflight bound; must be >= batch_max *)
+  keys : int;
+  log_region_bytes : int;  (** per-shard carved log region *)
+}
+
+let default_log_region_bytes = 1 lsl 21
+
+(* router -> worker: one batch of (key, op, stream index) for one shard;
+   Stop ends the worker, detaching its view's cache only on clean
+   shutdown *)
+type msg =
+  | Batch of { b_shard : int; b_reqs : (int * Service.op * int) array }
+  | Stop of { detach : bool }
+
+(* worker -> router: executed batch, values in batch order *)
+type comp = { cp_shard : int; cp_results : (int * int) array }
+    (* (stream index, value) *)
+
+type t = {
+  cfg : config;
+  params : Spec_soft.params;
+  pm : Pmem.t;  (* parent view: recovery and post-join audits only *)
+  heap : Heap.t;
+  views : Pmem.t array;  (* one per worker domain *)
+  pool : Spec_mt.t;
+  gcs : Group_commit.t array;  (* one per shard, driven by its domain *)
+  adm : (int * Service.op * int) Admission.t array;  (* router-side *)
+  addr_of_key : Addr.t array;
+  owner : int array;  (* key -> shard *)
+  req_rings : msg Spsc.t array;  (* router -> domain *)
+  ack_rings : comp Spsc.t array;  (* domain -> router *)
+}
+
+let shard_of_key t k = t.owner.(k)
+let domain_of_shard t s = s mod t.cfg.domains
+
+(* Clamp a footprint-triggered reclaim so compaction fires well inside
+   the carved region: the splice allocates the compacted chain before
+   freeing the old one, so the trigger must leave headroom. *)
+let clamp_reclaim params ~log_region_bytes =
+  match params.Spec_soft.reclaim with
+  | Spec_soft.Threshold n ->
+      {
+        params with
+        Spec_soft.reclaim = Spec_soft.Threshold (min n (log_region_bytes / 4));
+      }
+  | Spec_soft.Adaptive _ -> params
+
+let create ?(params = Spec_soft.default_params) t_heap cfg =
+  if cfg.shards < 1 || cfg.shards > Spec_mt.max_threads then
+    Fmt.invalid_arg "Dataplane.create: 1-%d shards" Spec_mt.max_threads;
+  if cfg.domains < 1 || cfg.domains > cfg.shards then
+    invalid_arg "Dataplane.create: 1..shards domains";
+  if cfg.batch_max < 1 then invalid_arg "Dataplane.create: batch_max < 1";
+  if cfg.depth < cfg.batch_max then
+    invalid_arg "Dataplane.create: depth < batch_max";
+  if cfg.keys < 1 then invalid_arg "Dataplane.create: keys < 1";
+  if cfg.log_region_bytes < 1 lsl 16 then
+    invalid_arg "Dataplane.create: log_region_bytes < 64 KiB";
+  let params = clamp_reclaim params ~log_region_bytes:cfg.log_region_bytes in
+  let pm = Heap.pmem t_heap in
+  let owner = Array.init cfg.keys (Service.route ~shards:cfg.shards) in
+  (* Parent-side formatting: per-shard line-aligned key regions (packed
+     cells, so a shard's keys share lines only with each other) and
+     per-shard carved log regions. *)
+  let addr_of_key = Array.make cfg.keys 0 in
+  Array.iteri
+    (fun s _ ->
+      let owned = ref [] in
+      for k = cfg.keys - 1 downto 0 do
+        if owner.(k) = s then owned := k :: !owned
+      done;
+      match !owned with
+      | [] -> ()
+      | owned ->
+          let n = List.length owned in
+          let raw = Heap.alloc t_heap ((n * 8) + Addr.line_size) in
+          let base = Addr.align_up raw Addr.line_size in
+          List.iteri (fun i k -> addr_of_key.(k) <- base + (i * 8)) owned)
+    (Array.make cfg.shards ());
+  let regions =
+    Array.init cfg.shards (fun _ ->
+        Heap.carve_region t_heap ~bytes:cfg.log_region_bytes)
+  in
+  (* Ownership handoff: everything the parent cached while formatting is
+     written back before the per-domain views fork. *)
+  Pmem.detach_cache pm;
+  let views =
+    Array.init cfg.domains (fun d -> Pmem.fork_view ~seed:(47 + d) pm)
+  in
+  let sub_heaps =
+    Array.init cfg.shards (fun s ->
+        Heap.of_region views.(s mod cfg.domains) regions.(s))
+  in
+  let pool =
+    Spec_mt.create ~params ~runtime_heaps:sub_heaps t_heap
+      ~threads:cfg.shards
+  in
+  let gcs =
+    Array.init cfg.shards (fun s ->
+        Group_commit.create ~backend:(Spec_mt.thread pool s)
+          ~rt:(Spec_mt.runtime pool s))
+  in
+  (* Adoption (Section 4.3.2), exactly as the serial service: one
+     committed transaction per shard writes 0 to every owned key, so a
+     cell is always logged before its first client write.  Runs on the
+     router through each shard's view — before any worker spawns, so
+     the spawn provides the happens-before edge. *)
+  Array.iteri
+    (fun s _ ->
+      let owned = ref [] in
+      for k = cfg.keys - 1 downto 0 do
+        if owner.(k) = s then owned := k :: !owned
+      done;
+      match !owned with
+      | [] -> ()
+      | owned ->
+          (Spec_mt.thread pool s).Specpmt_txn.Ctx.run_tx (fun ctx ->
+              List.iter
+                (fun k -> ctx.Specpmt_txn.Ctx.write addr_of_key.(k) 0)
+                owned))
+    (Array.make cfg.shards ());
+  let spd = (cfg.shards + cfg.domains - 1) / cfg.domains in
+  let ring_cap = (spd * cfg.depth) + 8 in
+  {
+    cfg;
+    params;
+    pm;
+    heap = t_heap;
+    views;
+    pool;
+    gcs;
+    adm = Array.init cfg.shards (fun _ -> Admission.create ~depth:cfg.depth);
+    addr_of_key;
+    owner;
+    req_rings = Array.init cfg.domains (fun _ -> Spsc.create ~capacity:ring_cap);
+    ack_rings = Array.init cfg.domains (fun _ -> Spsc.create ~capacity:ring_cap);
+  }
+
+let config t = t.cfg
+
+(* Unmetered post-join/post-recovery read: the parent cache is empty
+   (detached) outside a run, so this observes the merged media image. *)
+let peek t k =
+  if k < 0 || k >= t.cfg.keys then invalid_arg "Dataplane.peek: bad key";
+  Pmem.peek_volatile_int t.pm t.addr_of_key.(k)
+
+let table_crc t =
+  let crc = ref 0 in
+  for k = 0 to t.cfg.keys - 1 do
+    crc := ((!crc * 31) + peek t k) land max_int
+  done;
+  !crc
+
+(* ---- reports ---- *)
+
+type shard_report = {
+  d_shard : int;
+  d_domain : int;
+  d_ops : int;  (** acked by the router *)
+  d_batches : int;
+  d_sealed : int;
+}
+
+type report = {
+  domains : int;
+  halted : bool;  (** crash drill: the router stopped mid-stream *)
+  (* invariant across domain counts *)
+  total_ops : int;
+  reads : int;
+  writes : int;
+  reads_sum : int;  (** checksum over read results *)
+  table_crc : int;  (** final key-table fingerprint (clean runs only) *)
+  fences : int;
+  batches : int;
+  sealed_records : int;
+  per_shard : shard_report list;
+  (* measured (wall clock, host-dependent) *)
+  wall_s : float;
+  wall_ops_per_sec : float;
+  wall_latency : Hist.snapshot;  (** wall ns, admission to ack *)
+  router_stalls : int;
+  (* modelled (simulated device time, per-domain clocks) *)
+  sim_ns_max : float;  (** modelled makespan: slowest domain's clock *)
+  sim_ns_sum : float;
+  sim_bg_ns : float;
+  pm_write_lines : int;
+  pm_read_lines : int;
+}
+
+exception Halted
+
+let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
+    t stream =
+  let cfg = t.cfg in
+  let n_ops = Array.length stream in
+  Array.iter
+    (fun (k, _) ->
+      if k < 0 || k >= cfg.keys then invalid_arg "Dataplane.run: bad key")
+    stream;
+  let before = Array.map (fun v -> Stats.copy (Pmem.stats v)) t.views in
+  let worker d () =
+    let running = ref true in
+    while !running do
+      match Spsc.try_pop t.req_rings.(d) with
+      | Some (Batch { b_shard; b_reqs }) ->
+          let gc = t.gcs.(b_shard) in
+          let m = Array.length b_reqs in
+          let results = Array.make m 0 in
+          let jobs =
+            List.init m (fun i ctx ->
+                let key, op, _ = b_reqs.(i) in
+                let a = t.addr_of_key.(key) in
+                match op with
+                | Service.Write v ->
+                    ctx.Specpmt_txn.Ctx.write a v;
+                    results.(i) <- v
+                | Service.Read -> results.(i) <- ctx.Specpmt_txn.Ctx.read a)
+          in
+          Group_commit.run gc jobs;
+          let comp =
+            {
+              cp_shard = b_shard;
+              cp_results =
+                Array.mapi (fun i (_, _, idx) -> (idx, results.(i))) b_reqs;
+            }
+          in
+          (* sized so this never blocks while the router is halted: the
+             admission depth bounds outstanding completions per shard *)
+          while not (Spsc.try_push t.ack_rings.(d) comp) do
+            Domain.cpu_relax ()
+          done
+      | Some (Stop { detach }) ->
+          if detach then Pmem.detach_cache t.views.(d);
+          running := false
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let wall0 = Unix.gettimeofday () in
+  let workers = Array.init cfg.domains (fun d -> Par.spawn (worker d)) in
+  (* ---- router ---- *)
+  let enq_wall = Array.make (max 1 n_ops) 0.0 in
+  let lat = Hist.create () in
+  let acked = Array.make cfg.shards 0 in
+  let reads = ref 0 and writes = ref 0 and reads_sum = ref 0 in
+  let stalls = ref 0 in
+  let batches_sent = ref 0 in
+  let drain_acks () =
+    let got = ref false in
+    Array.iter
+      (fun ring ->
+        match Spsc.try_pop ring with
+        | None -> ()
+        | Some comp ->
+            got := true;
+            let m = Array.length comp.cp_results in
+            Admission.ack t.adm.(comp.cp_shard) m;
+            acked.(comp.cp_shard) <- acked.(comp.cp_shard) + m;
+            let now = Unix.gettimeofday () in
+            Array.iter
+              (fun (idx, value) ->
+                (match snd stream.(idx) with
+                | Service.Read ->
+                    incr reads;
+                    reads_sum := (!reads_sum + value) land max_int
+                | Service.Write _ -> incr writes);
+                on_ack ~idx ~value;
+                Hist.observe lat
+                  (int_of_float ((now -. enq_wall.(idx)) *. 1e9)))
+              comp.cp_results)
+      t.ack_rings;
+    !got
+  in
+  let send s reqs =
+    let msg = Batch { b_shard = s; b_reqs = Array.of_list reqs } in
+    let ring = t.req_rings.(domain_of_shard t s) in
+    while not (Spsc.try_push ring msg) do
+      if not (drain_acks ()) then Domain.cpu_relax ()
+    done;
+    incr batches_sent;
+    if !batches_sent >= halt_after_batches then raise Halted
+  in
+  let flush s =
+    match Admission.take_up_to t.adm.(s) cfg.batch_max with
+    | [] -> ()
+    | reqs -> send s reqs
+  in
+  let halted =
+    match
+      Array.iteri
+        (fun idx (key, op) ->
+          let s = t.owner.(key) in
+          (* closed-loop backpressure: wait for shard capacity *)
+          let stalled = ref false in
+          while Admission.inflight t.adm.(s) >= cfg.depth do
+            stalled := true;
+            if not (drain_acks ()) then Domain.cpu_relax ()
+          done;
+          if !stalled then incr stalls;
+          enq_wall.(idx) <- Unix.gettimeofday ();
+          (match Admission.offer t.adm.(s) (key, op, idx) with
+          | Admission.Accepted -> ()
+          | Admission.Rejected _ -> assert false);
+          if Admission.queued t.adm.(s) >= cfg.batch_max then flush s)
+        stream;
+      (* partial batches, deterministically in shard order *)
+      for s = 0 to cfg.shards - 1 do
+        flush s
+      done
+    with
+    | () ->
+        (* clean shutdown: wait out every inflight op, then stop the
+           workers with a cache detach so the parent sees merged media *)
+        let inflight () =
+          Array.fold_left (fun n a -> n + Admission.inflight a) 0 t.adm
+        in
+        while inflight () > 0 do
+          if not (drain_acks ()) then Domain.cpu_relax ()
+        done;
+        Array.iter
+          (fun ring ->
+            while not (Spsc.try_push ring (Stop { detach = true })) do
+              Domain.cpu_relax ()
+            done)
+          t.req_rings;
+        false
+    | exception Halted ->
+        (* crash drill: stop immediately — no partial flush, no ack
+           drain; workers exit without detaching, leaving their unflushed
+           in-place updates to die with the caches *)
+        Array.iter
+          (fun ring ->
+            while not (Spsc.try_push ring (Stop { detach = false })) do
+              Domain.cpu_relax ()
+            done)
+          t.req_rings;
+        true
+  in
+  ignore (Par.join_all workers);
+  let wall_s = Unix.gettimeofday () -. wall0 in
+  let diffs =
+    Array.mapi (fun i v -> Stats.diff before.(i) (Pmem.stats v)) t.views
+  in
+  let total_ops = Array.fold_left ( + ) 0 acked in
+  let per_shard =
+    List.init cfg.shards (fun s ->
+        {
+          d_shard = s;
+          d_domain = domain_of_shard t s;
+          d_ops = acked.(s);
+          d_batches = Group_commit.batches t.gcs.(s);
+          d_sealed = Group_commit.sealed_records t.gcs.(s);
+        })
+  in
+  let fsum f = Array.fold_left (fun a d -> a +. f d) 0.0 diffs in
+  let isum f = Array.fold_left (fun a d -> a + f d) 0 diffs in
+  {
+    domains = cfg.domains;
+    halted;
+    total_ops;
+    reads = !reads;
+    writes = !writes;
+    reads_sum = !reads_sum;
+    table_crc = (if halted then 0 else table_crc t);
+    fences = isum (fun d -> d.Stats.fences);
+    batches = List.fold_left (fun n s -> n + s.d_batches) 0 per_shard;
+    sealed_records = List.fold_left (fun n s -> n + s.d_sealed) 0 per_shard;
+    per_shard;
+    wall_s;
+    wall_ops_per_sec =
+      (if wall_s > 0.0 then float_of_int total_ops /. wall_s else 0.0);
+    wall_latency = Hist.snapshot lat;
+    router_stalls = !stalls;
+    sim_ns_max = Array.fold_left (fun a d -> Float.max a d.Stats.ns) 0.0 diffs;
+    sim_ns_sum = fsum (fun d -> d.Stats.ns);
+    sim_bg_ns = fsum (fun d -> d.Stats.bg_ns);
+    pm_write_lines = isum (fun d -> d.Stats.pm_write_lines);
+    pm_read_lines = isum (fun d -> d.Stats.pm_read_lines);
+  }
+
+(* ---- crash / recovery against the single shared image ---- *)
+
+let crash t =
+  (* every view's cache dies in place (the ring buffers and admission
+     state die with the run); the parent cache is already empty *)
+  Array.iter Pmem.discard_cache t.views;
+  Pmem.crash_with t.pm ~persist:(fun _ -> false)
+
+let recover t =
+  (* the pool recovers through the parent view over the merged media:
+     root heap, per-shard sub-heaps, log scan + coalesced replay,
+     reattach of every runtime through its own (now empty) view *)
+  Spec_mt.recover t.pool;
+  Array.iter Admission.clear t.adm;
+  Array.iter Group_commit.reset t.gcs;
+  (* a halted run leaves undrained completions (and, in principle,
+     unconsumed stops) in the rings; they died with the crash *)
+  let drain ring = while Spsc.try_pop ring <> None do () done in
+  Array.iter drain t.ack_rings;
+  Array.iter (fun r -> while Spsc.try_pop r <> None do () done) t.req_rings;
+  (* the replayed cells sit clean in the parent cache: hand them back
+     to the views before the next run dirties those lines *)
+  Pmem.detach_cache t.pm
+
+(* ---- json ---- *)
+
+(* no [domain] here: shard->domain placement depends on the domain
+   count, and per_shard sits in the invariant section — placement is
+   reported under [measured] instead *)
+let shard_to_json s =
+  Json.Obj
+    [
+      ("shard", Json.Int s.d_shard);
+      ("ops", Json.Int s.d_ops);
+      ("batches", Json.Int s.d_batches);
+      ("sealed_records", Json.Int s.d_sealed);
+    ]
+
+(* The three-way split is the contract: [invariant] must be
+   byte-identical across domain counts (CI diffs it 1 vs N); [measured]
+   is host wall clock; [modelled] is simulated device time, whose cache
+   locality legitimately depends on the shard->domain packing. *)
+let report_to_json cfg r =
+  Json.Obj
+    [
+      ( "invariant",
+        Json.Obj
+          [
+            ("shards", Json.Int cfg.shards);
+            ("batch_max", Json.Int cfg.batch_max);
+            ("depth", Json.Int cfg.depth);
+            ("keys", Json.Int cfg.keys);
+            ("halted", Json.Bool r.halted);
+            ("total_ops", Json.Int r.total_ops);
+            ("reads", Json.Int r.reads);
+            ("writes", Json.Int r.writes);
+            ("reads_sum", Json.Int r.reads_sum);
+            ("table_crc", Json.Int r.table_crc);
+            ("fences", Json.Int r.fences);
+            ("batches", Json.Int r.batches);
+            ("sealed_records", Json.Int r.sealed_records);
+            ("per_shard", Json.List (List.map shard_to_json r.per_shard));
+          ] );
+      ( "measured",
+        Json.Obj
+          [
+            ("domains", Json.Int r.domains);
+            ( "placement",
+              Json.List
+                (List.map (fun s -> Json.Int s.d_domain) r.per_shard) );
+            ("wall_s", Json.Float r.wall_s);
+            ("wall_ops_per_sec", Json.Float r.wall_ops_per_sec);
+            ("wall_latency_ns", Hist.to_json r.wall_latency);
+            ("router_stalls", Json.Int r.router_stalls);
+          ] );
+      ( "modelled",
+        Json.Obj
+          [
+            ("sim_ns_max", Json.Float r.sim_ns_max);
+            ("sim_ns_sum", Json.Float r.sim_ns_sum);
+            ("sim_bg_ns", Json.Float r.sim_bg_ns);
+            ("sim_ops_per_sec_max",
+             Json.Float
+               (if r.sim_ns_max > 0.0 then
+                  float_of_int r.total_ops /. (r.sim_ns_max /. 1e9)
+                else 0.0));
+            ("pm_write_lines", Json.Int r.pm_write_lines);
+            ("pm_read_lines", Json.Int r.pm_read_lines);
+          ] );
+    ]
+
+let pp ppf (cfg, r) =
+  let q p = Hist.quantile r.wall_latency p in
+  Fmt.pf ppf
+    "dataplane: %d shards on %d domains, batch_max %d, depth %d, %d keys@\n"
+    cfg.shards r.domains cfg.batch_max cfg.depth cfg.keys;
+  Fmt.pf ppf "  %d ops (%d reads / %d writes), %d batches, %d sealed@\n"
+    r.total_ops r.reads r.writes r.batches r.sealed_records;
+  Fmt.pf ppf
+    "  measured: %.3f s wall, %.0f ops/s, latency us p50=%.1f p99=%.1f \
+     (%d router stalls)@\n"
+    r.wall_s r.wall_ops_per_sec
+    (float_of_int (q 0.5) /. 1e3)
+    (float_of_int (q 0.99) /. 1e3)
+    r.router_stalls;
+  Fmt.pf ppf
+    "  modelled: %.0f ns makespan (max domain), %.0f ns total, %d fences@\n"
+    r.sim_ns_max r.sim_ns_sum r.fences;
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "    shard %d (domain %d): %6d ops %5d batches %6d sealed@\n"
+        s.d_shard s.d_domain s.d_ops s.d_batches s.d_sealed)
+    r.per_shard

@@ -40,6 +40,29 @@ let zipf_sampler ~n ~theta st =
       !lo
   end
 
+(* The open-coded op stream the closed-loop generator would issue:
+   (key, op) pairs in issue order, drawn from the same seeded RNG in
+   the same order (key, then coin), with the same unique write values.
+   The shard-per-domain data plane consumes this directly — its router
+   forms batches from the stream positionally, so batch composition is
+   a pure function of (config, keys) and never of domain timing. *)
+let op_stream cfg ~keys =
+  if cfg.ops < 0 then invalid_arg "Loadgen.op_stream: ops < 0";
+  let st = Random.State.make [| 0x5EC; cfg.seed |] in
+  let draw_key = zipf_sampler ~n:keys ~theta:cfg.skew st in
+  let out = Array.make cfg.ops (0, Service.Read) in
+  (* explicit loop: Array.init's evaluation order is unspecified and the
+     RNG draws must happen in issue order *)
+  for i = 0 to cfg.ops - 1 do
+    let key = draw_key () in
+    let op =
+      if Random.State.float st 1.0 < cfg.read_frac then Service.Read
+      else Service.Write (1_000_000 + i)
+    in
+    out.(i) <- (key, op)
+  done;
+  out
+
 type shard_report = {
   sh_id : int;
   sh_ops : int;

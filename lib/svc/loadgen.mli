@@ -21,6 +21,13 @@ val zipf_sampler : n:int -> theta:float -> Random.State.t -> unit -> int
 (** Inverse-CDF Zipf over [0, n) (uniform when [theta <= 0]); the
     cumulative table is built once, each draw is O(log n). *)
 
+val op_stream : config -> keys:int -> (int * Service.op) array
+(** The deterministic (key, op) stream of this config in issue order —
+    same RNG, same draw order, same unique write values as {!run}'s
+    clients would issue.  The data plane's router consumes this
+    positionally, which is what makes its batch composition (and hence
+    its invariant report) independent of domain count and timing. *)
+
 type shard_report = {
   sh_id : int;
   sh_ops : int;

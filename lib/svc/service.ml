@@ -54,9 +54,15 @@ type t = {
   shard_tbl : shard array;
 }
 
-(* multiplicative hash (Knuth's 2^32 ratio) — keeps 63-bit OCaml ints in
-   range and spreads consecutive keys across shards *)
-let shard_of_key t k = k * 2654435761 lsr 13 mod t.cfg.shards
+(* Multiplicative hash (Knuth's 2^32 ratio): the product is masked to
+   the intended 32-bit hash before the shift.  The parentheses are
+   load-bearing — [lsr] binds tighter than [*] in OCaml, so the
+   unparenthesized [k * 2654435761 lsr 13 mod shards] multiplies by
+   [2654435761 lsr 13 = 324027 = 27 * 11 * 1091] instead, and any shard
+   count dividing 324027 (3, 9, 11, 27, 33...) routes every key to
+   shard 0. *)
+let route ~shards k = ((k * 2654435761) land 0xFFFF_FFFF) lsr 13 mod shards
+let shard_of_key t k = route ~shards:t.cfg.shards k
 let key_addr t k = t.base + (k * 8)
 
 let create ?params heap cfg =

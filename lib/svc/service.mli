@@ -66,7 +66,15 @@ val recover : t -> unit
     queued/executing requests (they died unacknowledged) and clear the
     seal flags. *)
 
+val route : shards:int -> int -> int
+(** The pure router hash: 32-bit Fibonacci (Knuth multiplicative)
+    hashing of the key, reduced mod [shards].  Shared by the serial
+    service and the shard-per-domain data plane so both agree on key
+    ownership. *)
+
 val shard_of_key : t -> int -> int
+(** [route ~shards:(config t).shards]. *)
+
 val config : t -> config
 val pm : t -> Specpmt_pmem.Pmem.t
 

@@ -1,0 +1,55 @@
+(* Bounded single-producer/single-consumer ring for the router <->
+   worker-domain handoff.  Exactly one domain pushes and exactly one
+   domain pops; under that contract the two atomic cursors are enough:
+   the producer publishes a slot by advancing [tail] (the consumer's
+   atomic read of [tail] gives the happens-before edge that makes its
+   plain read of the slot safe), and the consumer releases a slot by
+   advancing [head] (symmetrically ordering its slot clear before the
+   producer's reuse). *)
+
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next index to pop; advanced by the consumer *)
+  tail : int Atomic.t; (* next index to push; advanced by the producer *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity < 1";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    slots = Array.make !cap None;
+    mask = !cap - 1;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    t.slots.(tail land t.mask) <- Some x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail = head then None
+  else begin
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+let is_empty t = length t = 0

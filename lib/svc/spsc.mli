@@ -1,0 +1,33 @@
+(** Bounded single-producer/single-consumer ring.
+
+    The handoff primitive of the shard-per-domain data plane: the router
+    domain pushes batch messages down one ring per worker and pops
+    completion messages off another, so every ring has exactly one
+    producer domain and one consumer domain.  Lock-free, allocation-free
+    per operation; capacity is rounded up to a power of two.
+
+    The SPSC contract is the safety argument: only the producer writes
+    [tail] and only the consumer writes [head], and each side's atomic
+    cursor update publishes its plain slot access to the other side
+    (OCaml's memory model orders the slot write before the cursor
+    release, and the cursor acquire before the slot read). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Capacity rounded up to the next power of two ([>= 1]). *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side only.  [false] when full — callers poll their
+    completion ring (router) or spin with [Domain.cpu_relax] (worker)
+    and retry. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side only.  [None] when empty. *)
+
+val length : 'a t -> int
+(** Racy outside the two owner domains; exact within them. *)
+
+val is_empty : 'a t -> bool

@@ -2,19 +2,28 @@
 
     Recovery only needs a total order over transaction commits, so a
     monotone counter shared by all simulated threads of a device is
-    sufficient. *)
+    sufficient.  Shard-per-domain execution (PR 6) shares one counter
+    across OCaml domains, so the counter is an [Atomic.t]: a plain
+    mutable read-increment-write would let two domains mint the same
+    timestamp, and coalesced recovery's last-writer-wins merge breaks
+    down the moment timestamps are not globally unique. *)
 
-type t = { mutable now : int }
+type t = { now : int Atomic.t }
 
-let create () = { now = 1 }
+let create () = { now = Atomic.make 1 }
 
-let next t =
-  let v = t.now in
-  t.now <- v + 1;
-  v
+let next t = Atomic.fetch_and_add t.now 1
 
-let peek t = t.now
+let peek t = Atomic.get t.now
 
 (** After a crash, restart the clock strictly above every timestamp that
-    may live in persistent logs. *)
-let restart_above t v = t.now <- max t.now (v + 1)
+    may live in persistent logs.  CAS loop: concurrent [next] calls must
+    not be lost, and a racing higher restart must win. *)
+let restart_above t v =
+  let rec go () =
+    let cur = Atomic.get t.now in
+    if cur >= v + 1 then ()
+    else if Atomic.compare_and_set t.now cur (v + 1) then ()
+    else go ()
+  in
+  go ()

@@ -1,14 +1,17 @@
 (** Logical timestamp counter — the stand-in for [rdtscp] (Section 4.1).
 
     Recovery needs a total order over transaction commits; multi-threaded
-    pools share one counter ({!Specpmt_backends.Spec_mt}). *)
+    pools share one counter ({!Specpmt_backends.Spec_mt}).  The counter
+    is atomic: shard-per-domain execution calls {!next} from several
+    domains concurrently and recovery relies on global uniqueness. *)
 
 type t
 
 val create : unit -> t
 
 val next : t -> int
-(** Strictly increasing, starting at 1. *)
+(** Strictly increasing, starting at 1.  Safe to call from any domain:
+    concurrent callers receive distinct timestamps. *)
 
 val peek : t -> int
 (** The value {!next} would return, without consuming it. *)

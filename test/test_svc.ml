@@ -12,6 +12,93 @@ let mk_svc ?(seed = 5) cfg =
   let heap = Heap.create pm in
   (pm, Service.create heap cfg)
 
+(* router hash: the directed regression for the precedence bug.  The
+   old code computed [k * (2654435761 land 0xFFFFFFFF lsr 13)] — [lsr]
+   binds tighter than [*] — i.e. [k * 324027].  324027 = 27 * 11 * 1091,
+   so for any shard count dividing it (3, 9, 11, 27, 33, ...) every key
+   landed on shard 0.  This test pins the fixed operator order: at
+   shards = 3 a sequential key range must populate all three shards. *)
+
+let test_route_prefix_bug () =
+  let shards = 3 in
+  let counts = Array.make shards 0 in
+  for k = 0 to 999 do
+    let s = Service.route ~shards k in
+    counts.(s) <- counts.(s) + 1
+  done;
+  Array.iteri
+    (fun s c ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d gets keys (%d)" s c)
+        true (c > 0))
+    counts;
+  (* the broken hash put all 1000 keys on shard 0 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "shard 0 is not a sink (%d/1000)" counts.(0))
+    true
+    (counts.(0) < 600)
+
+(* balance: for every shard count 2..16 the Fibonacci hash must spread
+   both a sequential key range and a Zipf-drawn distinct key set with
+   max/min population <= 1.3.  (Op-count balance under Zipf is a
+   property of the skew, not the hash — the hash's job is to not
+   correlate with the key distribution's support.) *)
+
+let check_balance name keys shards =
+  let counts = Array.make shards 0 in
+  List.iter
+    (fun k ->
+      let s = Service.route ~shards k in
+      counts.(s) <- counts.(s) + 1)
+    keys;
+  let mx = Array.fold_left max 0 counts
+  and mn = Array.fold_left min max_int counts in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s shards=%d max/min %d/%d <= 1.3" name shards mx mn)
+    true
+    (mn > 0 && float_of_int mx /. float_of_int mn <= 1.3)
+
+let test_route_balance () =
+  let sequential = List.init 4096 Fun.id in
+  let zipf_distinct =
+    let rng = Random.State.make [| 0xBA1; 7 |] in
+    let draw = Loadgen.zipf_sampler ~n:4096 ~theta:0.9 rng in
+    let seen = Hashtbl.create 1024 in
+    for _ = 1 to 20_000 do
+      Hashtbl.replace seen (draw ()) ()
+    done;
+    Hashtbl.fold (fun k () acc -> k :: acc) seen []
+  in
+  Alcotest.(check bool) "zipf draw covers enough distinct keys" true
+    (List.length zipf_distinct >= 512);
+  for shards = 2 to 16 do
+    check_balance "sequential" sequential shards;
+    check_balance "zipf-distinct" zipf_distinct shards
+  done
+
+(* admission over-ack: a double ack (or a negative one) must raise, not
+   silently unbound the inflight ceiling *)
+
+let test_admission_overack () =
+  let adm = Admission.create ~depth:4 in
+  (match Admission.offer adm () with
+  | Admission.Accepted -> ()
+  | Admission.Rejected _ -> Alcotest.fail "first offer shed");
+  (match Admission.offer adm () with
+  | Admission.Accepted -> ()
+  | Admission.Rejected _ -> Alcotest.fail "second offer shed");
+  ignore (Admission.take_up_to adm 2);
+  Alcotest.check_raises "over-ack raises"
+    (Invalid_argument "Admission.ack: 3 acks with 2 inflight") (fun () ->
+      Admission.ack adm 3);
+  Alcotest.check_raises "negative ack raises"
+    (Invalid_argument "Admission.ack: -1 acks with 2 inflight") (fun () ->
+      Admission.ack adm (-1));
+  (* the failed acks must not have consumed anything *)
+  Alcotest.(check int) "inflight intact" 2 (Admission.inflight adm);
+  Admission.ack adm 2;
+  Alcotest.(check int) "exact ack drains" 0 (Admission.inflight adm)
+
 (* router + admission *)
 
 let test_router_and_admission () =
@@ -88,13 +175,15 @@ let test_fences_per_write_monotone () =
    the same deterministic workload is killed at a spread of crash points
    under both drain-everything and drain-nothing persist choices. *)
 
-let kill_cfg = { Service.shards = 2; batch_max = 3; depth = 32; keys = 32 }
+(* The sweep runs at shards = 2 and — post hash fix — at shards = 3,
+   the smallest count the broken router collapsed to a single shard. *)
+let kill_cfg shards = { Service.shards; batch_max = 3; depth = 32; keys = 32 }
 
 let kill_ops =
   (* 24 writes, keys repeat so later batches overwrite earlier ones *)
   List.init 24 (fun i -> (i * 5 mod 32, 1000 + i))
 
-let run_kill ~fuse ~persist =
+let run_kill ~cfg:kill_cfg ~fuse ~persist =
   let pm, svc = mk_svc ~seed:5 kill_cfg in
   let acked = Array.make kill_cfg.Service.keys 0 in
   let pending = Array.make kill_cfg.Service.keys [] in
@@ -148,10 +237,11 @@ let run_kill ~fuse ~persist =
   Alcotest.(check int) "post-recovery write lands" 777_777
     (Service.peek svc 0)
 
-let test_mid_batch_kill () =
+let test_mid_batch_kill shards () =
+  let cfg = kill_cfg shards in
   (* dry run: count the drain's fuse-visible events *)
   let drain_events =
-    let pm, svc = mk_svc ~seed:5 kill_cfg in
+    let pm, svc = mk_svc ~seed:5 cfg in
     List.iter
       (fun (k, v) ->
         ignore (Service.submit svc ~client:0 ~key:k (Service.Write v)))
@@ -162,25 +252,199 @@ let test_mid_batch_kill () =
   in
   Alcotest.(check bool) "drain does work" true (drain_events > 0);
   (* no-crash control: every write acknowledged and visible *)
-  run_kill ~fuse:None ~persist:true;
+  run_kill ~cfg ~fuse:None ~persist:true;
   let stride = max 1 (drain_events / 40) in
   let fuse = ref 1 in
   while !fuse <= drain_events do
-    run_kill ~fuse:(Some !fuse) ~persist:true;
-    run_kill ~fuse:(Some !fuse) ~persist:false;
+    run_kill ~cfg ~fuse:(Some !fuse) ~persist:true;
+    run_kill ~cfg ~fuse:(Some !fuse) ~persist:false;
     fuse := !fuse + stride
   done
+
+(* odd shard counts get real load: a Zipf loadgen run at shards = 3
+   must complete every op and give every shard a non-trivial share —
+   with the broken hash shards 1 and 2 sat idle. *)
+
+let test_odd_shard_coverage () =
+  let _, svc =
+    mk_svc ~seed:9 { Service.shards = 3; batch_max = 4; depth = 48; keys = 96 }
+  in
+  let r =
+    Loadgen.run svc
+      { Loadgen.clients = 24; ops = 600; read_frac = 0.3; skew = 0.9;
+        seed = 13 }
+  in
+  Alcotest.(check int) "all ops completed" 600 r.Loadgen.total_ops;
+  Alcotest.(check int) "three shard reports" 3 (List.length r.Loadgen.shards);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d serves ops (%d)" s.Loadgen.sh_id
+           s.Loadgen.sh_ops)
+        true
+        (s.Loadgen.sh_ops >= 600 / 10);
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d seals batches" s.Loadgen.sh_id)
+        true
+        (s.Loadgen.sh_batches > 0))
+    r.Loadgen.shards
+
+(* ---------- shard-per-domain data plane ---------- *)
+
+let mk_plane ?(shards = 4) ?(keys = 128) ~domains () =
+  let pm = Pmem.create ~seed:21 Config.default in
+  let heap = Heap.create pm in
+  let cfg =
+    {
+      Dataplane.shards;
+      domains;
+      batch_max = 4;
+      depth = 16;
+      keys;
+      log_region_bytes = 1 lsl 16;
+    }
+  in
+  (cfg, Dataplane.create heap cfg)
+
+let dp_stream ?(read_frac = 0.3) ?(ops = 800) cfg =
+  Loadgen.op_stream
+    { Loadgen.clients = 16; ops; read_frac; skew = 0.9; seed = 17 }
+    ~keys:cfg.Dataplane.keys
+
+(* the invariant half of a report must not depend on the domain count;
+   4 shards on 3 domains is the deliberately lopsided placement *)
+
+let invariant_fingerprint (r : Dataplane.report) =
+  ( r.Dataplane.total_ops,
+    r.Dataplane.reads,
+    r.Dataplane.writes,
+    r.Dataplane.reads_sum,
+    r.Dataplane.table_crc,
+    r.Dataplane.fences,
+    r.Dataplane.batches,
+    r.Dataplane.sealed_records,
+    List.map
+      (fun (s : Dataplane.shard_report) ->
+        (s.Dataplane.d_shard, s.Dataplane.d_ops, s.Dataplane.d_batches,
+         s.Dataplane.d_sealed))
+      r.Dataplane.per_shard )
+
+let test_dataplane_invariant_across_domains () =
+  let run domains =
+    let cfg, plane = mk_plane ~domains () in
+    let r = Dataplane.run plane (dp_stream cfg) in
+    Alcotest.(check bool) "clean run" false r.Dataplane.halted;
+    invariant_fingerprint r
+  in
+  let fp1 = run 1 in
+  Alcotest.(check bool) "1 vs 3 domains: invariant identical" true
+    (fp1 = run 3);
+  Alcotest.(check bool) "1 vs 4 domains: invariant identical" true
+    (fp1 = run 4)
+
+(* crash drill at shards = 3: halt mid-stream, discard every domain
+   cache, recover through the parent — every acked write must still be
+   visible, and any other visible value must come from a submitted
+   write no older than the last acked one for that key *)
+
+let test_dataplane_crash_audit () =
+  let cfg, plane = mk_plane ~shards:3 ~keys:96 ~domains:3 () in
+  let stream = dp_stream ~read_frac:0.2 ~ops:600 cfg in
+  let keys = cfg.Dataplane.keys in
+  let initial = Array.init keys (Dataplane.peek plane) in
+  let last_acked = Array.make keys None in
+  let last_acked_idx = Array.make keys (-1) in
+  let on_ack ~idx ~value:_ =
+    match stream.(idx) with
+    | k, Service.Write v ->
+        last_acked.(k) <- Some v;
+        last_acked_idx.(k) <- idx
+    | _, Service.Read -> ()
+  in
+  let r = Dataplane.run ~halt_after_batches:40 ~on_ack plane stream in
+  Alcotest.(check bool) "run halted" true r.Dataplane.halted;
+  Alcotest.(check bool) "some ops acked before the halt" true
+    (r.Dataplane.total_ops > 0);
+  Dataplane.crash plane;
+  Dataplane.recover plane;
+  for k = 0 to keys - 1 do
+    let got = Dataplane.peek plane k in
+    let ok =
+      match last_acked.(k) with
+      | Some v when got = v -> true
+      | latest ->
+          (* untouched, or a sealed-but-unacked later write *)
+          (latest = None && got = initial.(k))
+          || Array.exists
+               (fun idx ->
+                 idx > last_acked_idx.(k)
+                 &&
+                 match stream.(idx) with
+                 | k', Service.Write v' -> k' = k && v' = got
+                 | _ -> false)
+               (Array.init (Array.length stream) Fun.id)
+    in
+    if not ok then
+      Alcotest.failf "key %d: got %d, last acked %s" k got
+        (match last_acked.(k) with
+        | Some v -> string_of_int v
+        | None -> "-")
+  done;
+  (* the recovered plane serves again *)
+  let r2 = Dataplane.run plane (dp_stream ~ops:200 cfg) in
+  Alcotest.(check bool) "post-recovery run clean" false r2.Dataplane.halted;
+  Alcotest.(check int) "post-recovery ops served" 200 r2.Dataplane.total_ops
+
+(* the scaling claim, on the deterministic modelled clock: spreading 4
+   shards over 4 domains must at least halve the makespan of the
+   write-heavy mix relative to 1 domain (measured wall clock is
+   host-dependent and not asserted) *)
+
+let test_dataplane_modelled_speedup () =
+  let run domains =
+    let cfg, plane = mk_plane ~domains () in
+    let r = Dataplane.run plane (dp_stream ~read_frac:0.1 ~ops:1200 cfg) in
+    r.Dataplane.sim_ns_max
+  in
+  let ns1 = run 1 and ns4 = run 4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "4-domain modelled makespan >= 2x better (%.2fx)"
+       (ns1 /. ns4))
+    true
+    (ns1 >= 2.0 *. ns4)
 
 let () =
   Alcotest.run "svc"
     [
+      ( "router",
+        [
+          Alcotest.test_case "hash precedence bug: shards=3 not a sink" `Quick
+            test_route_prefix_bug;
+          Alcotest.test_case "balance <= 1.3 for shards 2..16" `Quick
+            test_route_balance;
+        ] );
       ( "service",
         [
           Alcotest.test_case "router + admission backpressure" `Quick
             test_router_and_admission;
+          Alcotest.test_case "admission over-ack raises" `Quick
+            test_admission_overack;
           Alcotest.test_case "fences/write falls with batch size" `Quick
             test_fences_per_write_monotone;
+          Alcotest.test_case "odd shard count carries real load" `Quick
+            test_odd_shard_coverage;
           Alcotest.test_case "mid-batch kill: acked durable, unacked invisible"
-            `Slow test_mid_batch_kill;
+            `Slow (test_mid_batch_kill 2);
+          Alcotest.test_case "mid-batch kill at shards=3" `Slow
+            (test_mid_batch_kill 3);
+        ] );
+      ( "dataplane",
+        [
+          Alcotest.test_case "invariant report identical across domains"
+            `Quick test_dataplane_invariant_across_domains;
+          Alcotest.test_case "crash drill: acked writes durable" `Quick
+            test_dataplane_crash_audit;
+          Alcotest.test_case "modelled makespan >= 2x at 4 domains" `Quick
+            test_dataplane_modelled_speedup;
         ] );
     ]

@@ -887,9 +887,61 @@ let prop_crash_prefix =
       seen = expected_prefix !committed
       || seen = expected_prefix (min 40 (!committed + 1)))
 
+(* tsc: the shared commit-timestamp counter must hand out globally
+   unique, strictly positive timestamps even when several domains pull
+   from it concurrently — recovery's total order depends on it *)
+
+let test_tsc_multi_domain_unique () =
+  let tsc = Tsc.create () in
+  let domains = 4 and per_domain = 10_000 in
+  let workers =
+    Array.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            Array.init per_domain (fun _ -> Tsc.next tsc)))
+  in
+  let drawn = Array.map Domain.join workers in
+  let seen = Hashtbl.create (domains * per_domain) in
+  Array.iter
+    (fun batch ->
+      (* within one domain the draws are strictly increasing *)
+      Array.iteri
+        (fun i ts ->
+          if i > 0 then
+            Alcotest.(check bool) "monotone within a domain" true
+              (ts > batch.(i - 1));
+          Alcotest.(check bool) "timestamp positive" true (ts >= 1);
+          if Hashtbl.mem seen ts then
+            Alcotest.failf "timestamp %d drawn twice" ts;
+          Hashtbl.add seen ts ())
+        batch)
+    drawn;
+  Alcotest.(check int) "every draw distinct" (domains * per_domain)
+    (Hashtbl.length seen);
+  Alcotest.(check int) "no timestamps lost"
+    ((domains * per_domain) + 1)
+    (Tsc.peek tsc)
+
+let test_tsc_restart_above () =
+  let tsc = Tsc.create () in
+  for _ = 1 to 5 do
+    ignore (Tsc.next tsc)
+  done;
+  Tsc.restart_above tsc 100;
+  Alcotest.(check int) "restart jumps above" 101 (Tsc.peek tsc);
+  (* never moves backwards *)
+  Tsc.restart_above tsc 3;
+  Alcotest.(check int) "restart below is a no-op" 101 (Tsc.peek tsc)
+
 let () =
   Alcotest.run "txn"
     [
+      ( "tsc",
+        [
+          Alcotest.test_case "multi-domain draws unique" `Quick
+            test_tsc_multi_domain_unique;
+          Alcotest.test_case "restart_above monotone" `Quick
+            test_tsc_restart_above;
+        ] );
       ( "checksum",
         [
           Alcotest.test_case "known vector" `Quick test_crc_known;
