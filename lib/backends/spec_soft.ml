@@ -78,8 +78,10 @@ let params t = t.params
 let live_cells t = Hashtbl.length t.vindex
 let stale_entries t = Log_arena.total_entries t.arena - live_cells t
 
+(* commit-path counter bump: exception form instead of [find_opt] so no
+   option is boxed per write-set cell *)
 let live_in_block t b =
-  Option.value ~default:0 (Hashtbl.find_opt t.block_live b)
+  match Hashtbl.find t.block_live b with n -> n | exception Not_found -> 0
 
 let bump_live t b d =
   if b >= 0 then Hashtbl.replace t.block_live b (live_in_block t b + d)
@@ -90,13 +92,13 @@ let bump_live t b d =
    device traffic. *)
 let index_commit t ts =
   Write_set.iter_in_order t.ws (fun a slot ->
-      (match Hashtbl.find_opt t.vindex a with
-      | Some c ->
+      (match Hashtbl.find t.vindex a with
+      | c ->
           bump_live t c.block (-1);
           c.v <- slot.Write_set.last_value;
           c.ts <- ts;
           c.block <- slot.Write_set.entry_block
-      | None ->
+      | exception Not_found ->
           Hashtbl.replace t.vindex a
             {
               v = slot.Write_set.last_value;

@@ -49,7 +49,11 @@ let allocate t capacity =
   nt_store_words t r [ 1 ];
   Pmem.store_int t.pm (Heap.root_slot t.heap t.region_slot) r;
   Pmem.store_int t.pm (Heap.root_slot t.heap t.capacity_slot) capacity;
+  (* both root cells are flushed: the two slots may straddle a cache
+     line, and an unflushed capacity cell that loses the crash coin flip
+     would reattach the log with a stale (even zero) capacity *)
   Pmem.clwb t.pm (Heap.root_slot t.heap t.region_slot);
+  Pmem.clwb t.pm (Heap.root_slot t.heap t.capacity_slot);
   Pmem.sfence t.pm
 
 let create heap ~region_slot ~capacity_slot ~capacity =
@@ -71,13 +75,24 @@ let create heap ~region_slot ~capacity_slot ~capacity =
 let attach heap ~region_slot ~capacity_slot =
   let pm = Heap.pmem heap in
   let region = Pmem.load_int pm (Heap.root_slot heap region_slot) in
+  (* The authoritative capacity is the region's own allocation header:
+     the header is persisted before the region pointer is published, so
+     the pair is always consistent — whereas the capacity cell can lag
+     the region cell across a crash (they may sit on different lines),
+     and a stale capacity either overruns the region on append or, at
+     zero, sends every append through the grow path with a degenerate
+     doubled size of zero. *)
+  let capacity =
+    if region = 0 then Pmem.load_int pm (Heap.root_slot heap capacity_slot)
+    else (Heap.usable_size heap region - 8) / entry_bytes
+  in
   {
     heap;
     pm;
     region_slot;
     capacity_slot;
     region;
-    capacity = Pmem.load_int pm (Heap.root_slot heap capacity_slot);
+    capacity;
     count = 0 (* unknown; scans are self-describing *);
     gen = Pmem.load_int pm region;
   }

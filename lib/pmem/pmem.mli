@@ -147,6 +147,8 @@ type op =
   | Clwb of Addr.t
   | Sfence
   | Nt_store of Addr.t * int  (** address, byte count *)
+  | Load_bytes of Addr.t * int  (** ranged load — address, byte count *)
+  | Store_bytes of Addr.t * int  (** ranged store — address, byte count *)
 
 val pp_op : Format.formatter -> op -> unit
 

@@ -56,9 +56,9 @@ type msg =
   | Batch of { b_shard : int; b_reqs : (int * Service.op * int) array }
   | Stop of { detach : bool }
 
-(* worker -> router: executed batch, values in batch order *)
-type comp = { cp_shard : int; cp_results : (int * int) array }
-    (* (stream index, value) *)
+(* worker -> router: executed batch — stream indices and values in
+   batch order, as parallel int arrays (no per-op tuple boxing) *)
+type comp = { cp_shard : int; cp_idx : int array; cp_vals : int array }
 
 type t = {
   cfg : config;
@@ -177,8 +177,14 @@ let create ?(params = Spec_soft.default_params) t_heap cfg =
     adm = Array.init cfg.shards (fun _ -> Admission.create ~depth:cfg.depth);
     addr_of_key;
     owner;
-    req_rings = Array.init cfg.domains (fun _ -> Spsc.create ~capacity:ring_cap);
-    ack_rings = Array.init cfg.domains (fun _ -> Spsc.create ~capacity:ring_cap);
+    req_rings =
+      Array.init cfg.domains (fun _ ->
+          Spsc.create ~dummy:(Stop { detach = false }) ~capacity:ring_cap);
+    ack_rings =
+      Array.init cfg.domains (fun _ ->
+          Spsc.create
+            ~dummy:{ cp_shard = -1; cp_idx = [||]; cp_vals = [||] }
+            ~capacity:ring_cap);
   }
 
 let config t = t.cfg
@@ -244,31 +250,35 @@ let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
     stream;
   let before = Array.map (fun v -> Stats.copy (Pmem.stats v)) t.views in
   let worker d () =
+    (* one transaction closure per worker, reused for every op: the
+       per-op state flows through the captured cells, so the batch loop
+       allocates only the two completion arrays the router needs anyway *)
+    let cur_addr = ref 0 and cur_op = ref Service.Read and cur_res = ref 0 in
+    let job ctx =
+      match !cur_op with
+      | Service.Write v ->
+          ctx.Specpmt_txn.Ctx.write !cur_addr v;
+          cur_res := v
+      | Service.Read -> cur_res := ctx.Specpmt_txn.Ctx.read !cur_addr
+    in
     let running = ref true in
     while !running do
       match Spsc.try_pop t.req_rings.(d) with
       | Some (Batch { b_shard; b_reqs }) ->
           let gc = t.gcs.(b_shard) in
           let m = Array.length b_reqs in
-          let results = Array.make m 0 in
-          let jobs =
-            List.init m (fun i ctx ->
-                let key, op, _ = b_reqs.(i) in
-                let a = t.addr_of_key.(key) in
-                match op with
-                | Service.Write v ->
-                    ctx.Specpmt_txn.Ctx.write a v;
-                    results.(i) <- v
-                | Service.Read -> results.(i) <- ctx.Specpmt_txn.Ctx.read a)
-          in
-          Group_commit.run gc jobs;
-          let comp =
-            {
-              cp_shard = b_shard;
-              cp_results =
-                Array.mapi (fun i (_, _, idx) -> (idx, results.(i))) b_reqs;
-            }
-          in
+          let cp_idx = Array.make m 0 and cp_vals = Array.make m 0 in
+          Group_commit.batch_begin gc;
+          for i = 0 to m - 1 do
+            let key, op, idx = b_reqs.(i) in
+            cur_addr := t.addr_of_key.(key);
+            cur_op := op;
+            Group_commit.exec gc job;
+            cp_idx.(i) <- idx;
+            cp_vals.(i) <- !cur_res
+          done;
+          Group_commit.batch_end gc ~n:m;
+          let comp = { cp_shard = b_shard; cp_idx; cp_vals } in
           (* sized so this never blocks while the router is halted: the
              admission depth bounds outstanding completions per shard *)
           while not (Spsc.try_push t.ack_rings.(d) comp) do
@@ -297,21 +307,20 @@ let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
         | None -> ()
         | Some comp ->
             got := true;
-            let m = Array.length comp.cp_results in
+            let m = Array.length comp.cp_idx in
             Admission.ack t.adm.(comp.cp_shard) m;
             acked.(comp.cp_shard) <- acked.(comp.cp_shard) + m;
             let now = Unix.gettimeofday () in
-            Array.iter
-              (fun (idx, value) ->
-                (match snd stream.(idx) with
-                | Service.Read ->
-                    incr reads;
-                    reads_sum := (!reads_sum + value) land max_int
-                | Service.Write _ -> incr writes);
-                on_ack ~idx ~value;
-                Hist.observe lat
-                  (int_of_float ((now -. enq_wall.(idx)) *. 1e9)))
-              comp.cp_results)
+            for i = 0 to m - 1 do
+              let idx = comp.cp_idx.(i) and value = comp.cp_vals.(i) in
+              (match snd stream.(idx) with
+              | Service.Read ->
+                  incr reads;
+                  reads_sum := (!reads_sum + value) land max_int
+              | Service.Write _ -> incr writes);
+              on_ack ~idx ~value;
+              Hist.observe lat (int_of_float ((now -. enq_wall.(idx)) *. 1e9))
+            done)
       t.ack_rings;
     !got
   in

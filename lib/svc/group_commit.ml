@@ -34,26 +34,37 @@ let create ~backend ~rt =
     sealed = 0;
   }
 
+(* The three-call form is the worker hot path: the caller opens the
+   batch, runs each transaction through [exec] with whatever reusable
+   closure it owns, and closes with the executed count — no job list,
+   no per-batch closures. *)
+let batch_begin t = if t.batching then Spec_soft.batch_begin t.rt
+
+let exec t f = t.backend.Ctx.run_tx f
+
+let batch_end t ~n =
+  if t.batching then begin
+    t.sealing <- true;
+    let sealed = Spec_soft.batch_end t.rt in
+    t.sealing <- false;
+    t.sealed <- t.sealed + sealed
+  end;
+  if n > 0 then begin
+    t.batches <- t.batches + 1;
+    (* looked up per seal: metric cells are domain-local, and a
+       module-level lazy would capture (and race on) the cell of
+       whichever domain forced it first *)
+    Specpmt_obs.Hist.observe (Metrics.histogram "svc.batch_size") n;
+    Metrics.incr (Metrics.counter "svc.batches")
+  end
+
 let run t jobs =
   match jobs with
   | [] -> ()
   | jobs ->
-      let n = List.length jobs in
-      if t.batching then begin
-        Spec_soft.batch_begin t.rt;
-        List.iter (fun f -> t.backend.Ctx.run_tx f) jobs;
-        t.sealing <- true;
-        let sealed = Spec_soft.batch_end t.rt in
-        t.sealing <- false;
-        t.sealed <- t.sealed + sealed
-      end
-      else List.iter (fun f -> t.backend.Ctx.run_tx f) jobs;
-      t.batches <- t.batches + 1;
-      (* looked up per seal: metric cells are domain-local, and a
-         module-level lazy would capture (and race on) the cell of
-         whichever domain forced it first *)
-      Specpmt_obs.Hist.observe (Metrics.histogram "svc.batch_size") n;
-      Metrics.incr (Metrics.counter "svc.batches")
+      batch_begin t;
+      List.iter (fun f -> exec t f) jobs;
+      batch_end t ~n:(List.length jobs)
 
 let sealing t = t.sealing
 let batches t = t.batches

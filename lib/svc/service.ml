@@ -137,18 +137,25 @@ let exec_batch t s reqs =
   | reqs ->
       let n = List.length reqs in
       let results = Array.make n 0 in
-      let jobs =
-        List.mapi
-          (fun i r ctx ->
-            let a = key_addr t r.key in
-            match r.op with
-            | Write v ->
-                ctx.Specpmt_txn.Ctx.write a v;
-                results.(i) <- v
-            | Read -> results.(i) <- ctx.Specpmt_txn.Ctx.read a)
-          reqs
+      (* one closure for the whole batch, fed per-op state through the
+         captured cells — the serial twin of the dataplane worker loop *)
+      let cur_addr = ref 0 and cur_op = ref Read and cur_i = ref 0 in
+      let job ctx =
+        match !cur_op with
+        | Write v ->
+            ctx.Specpmt_txn.Ctx.write !cur_addr v;
+            results.(!cur_i) <- v
+        | Read -> results.(!cur_i) <- ctx.Specpmt_txn.Ctx.read !cur_addr
       in
-      Group_commit.run s.gc jobs;
+      Group_commit.batch_begin s.gc;
+      List.iteri
+        (fun i r ->
+          cur_addr := key_addr t r.key;
+          cur_op := r.op;
+          cur_i := i;
+          Group_commit.exec s.gc job)
+        reqs;
+      Group_commit.batch_end s.gc ~n;
       Admission.ack s.adm n;
       let t_ack = now t in
       List.mapi

@@ -5,23 +5,30 @@
    atomic read of [tail] gives the happens-before edge that makes its
    plain read of the slot safe), and the consumer releases a slot by
    advancing [head] (symmetrically ordering its slot clear before the
-   producer's reuse). *)
+   producer's reuse).
+
+   Slots are a plain ['a array] seeded with a caller-supplied dummy, so
+   a push stores the element directly — no [Some] box per message; the
+   consumer writes the dummy back on pop so popped elements don't stay
+   reachable through the ring. *)
 
 type 'a t = {
-  slots : 'a option array;
+  slots : 'a array;
+  dummy : 'a;
   mask : int;
   head : int Atomic.t; (* next index to pop; advanced by the consumer *)
   tail : int Atomic.t; (* next index to push; advanced by the producer *)
 }
 
-let create ~capacity =
+let create ~dummy ~capacity =
   if capacity < 1 then invalid_arg "Spsc.create: capacity < 1";
   let cap = ref 1 in
   while !cap < capacity do
     cap := !cap * 2
   done;
   {
-    slots = Array.make !cap None;
+    slots = Array.make !cap dummy;
+    dummy;
     mask = !cap - 1;
     head = Atomic.make 0;
     tail = Atomic.make 0;
@@ -34,7 +41,7 @@ let try_push t x =
   let head = Atomic.get t.head in
   if tail - head > t.mask then false
   else begin
-    t.slots.(tail land t.mask) <- Some x;
+    t.slots.(tail land t.mask) <- x;
     Atomic.set t.tail (tail + 1);
     true
   end
@@ -46,9 +53,9 @@ let try_pop t =
   else begin
     let i = head land t.mask in
     let x = t.slots.(i) in
-    t.slots.(i) <- None;
+    t.slots.(i) <- t.dummy;
     Atomic.set t.head (head + 1);
-    x
+    Some x
   end
 
 let length t = Atomic.get t.tail - Atomic.get t.head

@@ -14,8 +14,10 @@
 
 type 'a t
 
-val create : capacity:int -> 'a t
-(** Capacity rounded up to the next power of two ([>= 1]). *)
+val create : dummy:'a -> capacity:int -> 'a t
+(** Capacity rounded up to the next power of two ([>= 1]).  [dummy]
+    seeds the slot array (and replaces popped elements), so pushes
+    store elements directly instead of boxing them in an option. *)
 
 val capacity : 'a t -> int
 

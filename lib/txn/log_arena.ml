@@ -48,18 +48,31 @@ type t = {
   mutable rec_block : Addr.t; (* block containing rec_meta *)
   mutable rec_size : int; (* entry+marker bytes appended so far *)
   mutable rec_entries : int;
-  mutable segs : (Addr.t * Addr.t) list; (* [start,stop) spans, newest first *)
+  (* [start,stop) spans of the open record, oldest first, as parallel
+     flat arrays — the commit path appends and iterates these without
+     allocating *)
+  mutable seg_a : Addr.t array;
+  mutable seg_b : Addr.t array;
+  mutable n_segs : int;
   mutable seg_start : Addr.t;
-  mutable pending_spans : (Addr.t * Addr.t) list;
-      (* block-header next pointers written since the last commit; they must
-         persist with the next committed record for the chain to be
-         followable after a crash *)
-  mutable tentative : (Addr.t * int * (Addr.t * Addr.t) list) list;
-      (* group commit: records committed with a deliberately poisoned
-         checksum, newest first — (metadata address, true checksum, record
-         spans).  Invisible to every scan until [seal_tentative] patches
-         the checksums and persists the whole batch under one flush run
-         and a single fence. *)
+  (* block-header next pointers written since the last commit; they must
+     persist with the next committed record for the chain to be
+     followable after a crash.  Oldest first. *)
+  mutable pend_a : Addr.t array;
+  mutable pend_b : Addr.t array;
+  mutable n_pend : int;
+  (* group commit: records committed with a deliberately poisoned
+     checksum, oldest first — metadata address and true checksum per
+     record, plus every record's spans concatenated in commit order.
+     Invisible to every scan until [seal_tentative] patches the
+     checksums and persists the whole batch under one flush run and a
+     single fence. *)
+  mutable tent_meta : Addr.t array;
+  mutable tent_crc : int array;
+  mutable n_tent : int;
+  mutable tseg_a : Addr.t array;
+  mutable tseg_b : Addr.t array;
+  mutable n_tseg : int;
   (* volatile accounting for the adaptive reclamation scheduler: entry
      populations per block and which blocks start on a record boundary
      (only those are legal prefix-evacuation splice points — a scan must
@@ -86,6 +99,51 @@ let entry_words t = t.rec_entries
 let footprint t = t.n_blocks * t.block_bytes
 let block_count t = t.n_blocks
 
+(* flat span buffers: amortized O(1) push, reset by zeroing the count;
+   capacity never shrinks, so a steady-state commit path stops allocating
+   after warm-up *)
+let grown arr n =
+  if n < Array.length arr then arr
+  else begin
+    let bigger = Array.make (2 * Array.length arr) 0 in
+    Array.blit arr 0 bigger 0 n;
+    bigger
+  end
+
+let push_seg t a b =
+  t.seg_a <- grown t.seg_a t.n_segs;
+  t.seg_b <- grown t.seg_b t.n_segs;
+  t.seg_a.(t.n_segs) <- a;
+  t.seg_b.(t.n_segs) <- b;
+  t.n_segs <- t.n_segs + 1
+
+let push_pend t a b =
+  t.pend_a <- grown t.pend_a t.n_pend;
+  t.pend_b <- grown t.pend_b t.n_pend;
+  t.pend_a.(t.n_pend) <- a;
+  t.pend_b.(t.n_pend) <- b;
+  t.n_pend <- t.n_pend + 1
+
+let push_tseg t a b =
+  t.tseg_a <- grown t.tseg_a t.n_tseg;
+  t.tseg_b <- grown t.tseg_b t.n_tseg;
+  t.tseg_a.(t.n_tseg) <- a;
+  t.tseg_b.(t.n_tseg) <- b;
+  t.n_tseg <- t.n_tseg + 1
+
+let push_tent t meta crc =
+  t.tent_meta <- grown t.tent_meta t.n_tent;
+  t.tent_crc <- grown t.tent_crc t.n_tent;
+  t.tent_meta.(t.n_tent) <- meta;
+  t.tent_crc.(t.n_tent) <- crc;
+  t.n_tent <- t.n_tent + 1
+
+let flush_pending t =
+  for i = 0 to t.n_pend - 1 do
+    Pmem.flush_range t.pm t.pend_a.(i) (t.pend_b.(i) - t.pend_a.(i))
+  done;
+  t.n_pend <- 0
+
 let alloc_block t =
   let b = Heap.alloc_log t.heap t.block_bytes in
   (* zero the next pointer and the first size word so that a scan arriving
@@ -111,10 +169,19 @@ let mk heap ~head_slot ~block_bytes b =
     rec_block = -1;
     rec_size = 0;
     rec_entries = 0;
-    segs = [];
+    seg_a = Array.make 8 0;
+    seg_b = Array.make 8 0;
+    n_segs = 0;
     seg_start = -1;
-    pending_spans = [];
-    tentative = [];
+    pend_a = Array.make 8 0;
+    pend_b = Array.make 8 0;
+    n_pend = 0;
+    tent_meta = Array.make 8 0;
+    tent_crc = Array.make 8 0;
+    n_tent = 0;
+    tseg_a = Array.make 8 0;
+    tseg_b = Array.make 8 0;
+    n_tseg = 0;
     total_entries = 0;
     entries_per_block = Hashtbl.create 16;
     clean_starts;
@@ -161,11 +228,11 @@ let chain_block t =
     Pmem.store_int t.pm t.pos marker_target;
     Pmem.store_int t.pm (t.pos + 8) nb;
     t.rec_size <- t.rec_size + entry_bytes;
-    t.segs <- (t.seg_start, t.pos + entry_bytes) :: t.segs;
+    push_seg t t.seg_start (t.pos + entry_bytes);
     t.seg_start <- payload nb
   end;
   Pmem.store_int t.pm t.cur_block nb;
-  t.pending_spans <- (t.cur_block, t.cur_block + 8) :: t.pending_spans;
+  push_pend t t.cur_block (t.cur_block + 8);
   t.blocks <- nb :: t.blocks;
   t.n_blocks <- t.n_blocks + 1;
   t.cur_block <- nb;
@@ -181,7 +248,7 @@ let begin_record t =
   t.rec_block <- t.cur_block;
   t.rec_size <- 0;
   t.rec_entries <- 0;
-  t.segs <- [];
+  t.n_segs <- 0;
   t.seg_start <- t.pos;
   t.pos <- t.pos + meta_bytes
 
@@ -212,7 +279,7 @@ let abandon_record t =
   t.rec_meta <- -1;
   t.rec_block <- -1;
   t.rec_entries <- 0;
-  t.segs <- [];
+  t.n_segs <- 0;
   t.seg_start <- -1
 
 (* Walk the entry stream of a record, following markers.  [block] is the
@@ -284,11 +351,11 @@ let commit_record ?(fence = true) ?(flush = true) ?(tentative = false) t
   (* a valid record appended past pending tentative ones would sit behind
      a checksum gap and be unreachable by the valid-prefix scan — the
      open batch must be sealed before any individually-persisted commit *)
-  assert (tentative || t.tentative = []);
+  assert (tentative || t.n_tent = 0);
   let meta = t.rec_meta in
   (* sentinel for the record that will follow *)
   Pmem.store_int t.pm t.pos 0;
-  t.segs <- (t.seg_start, t.pos + 8) :: t.segs;
+  push_seg t t.seg_start (t.pos + 8);
   (match
      record_checksum t.pm ~block_bytes:t.block_bytes ~block:t.rec_block
        ~meta ~size:t.rec_size ~ts:timestamp
@@ -303,28 +370,32 @@ let commit_record ?(fence = true) ?(flush = true) ?(tentative = false) t
            the prefix walk stops here.  [seal_tentative] writes the true
            checksum and persists the whole batch under one fence. *)
         Pmem.store_int t.pm (meta + 16) (crc lxor 1);
-        t.tentative <- (meta, crc, List.rev t.segs) :: t.tentative
+        push_tent t meta crc;
+        for i = 0 to t.n_segs - 1 do
+          push_tseg t t.seg_a.(i) t.seg_b.(i)
+        done
       end
       else Pmem.store_int t.pm (meta + 16) crc);
   (* one flush run over the record's spans, then a single fence: the
      speculative-logging commit of Figure 2 (right).  Tentative records
-     defer both to the seal. *)
+     defer both to the seal.  Pending chain pointers go first, then the
+     record spans in append order. *)
   if flush && not tentative then begin
-    List.iter
-      (fun (a, b) -> Pmem.flush_range t.pm a (b - a))
-      (List.rev_append t.pending_spans (List.rev t.segs));
-    if fence then Pmem.sfence t.pm;
-    t.pending_spans <- []
+    flush_pending t;
+    for i = 0 to t.n_segs - 1 do
+      Pmem.flush_range t.pm t.seg_a.(i) (t.seg_b.(i) - t.seg_a.(i))
+    done;
+    if fence then Pmem.sfence t.pm
   end;
   Specpmt_obs.Trace.emit "arena.commit" ~a:timestamp ~b:t.rec_entries;
   t.rec_meta <- -1;
   t.rec_block <- -1;
   t.rec_size <- 0;
   t.rec_entries <- 0;
-  t.segs <- [];
+  t.n_segs <- 0;
   t.seg_start <- -1
 
-let tentative_records t = List.length t.tentative
+let tentative_records t = t.n_tent
 
 (* Seal a group-commit batch: patch the true checksum into every
    tentative record (plain stores, oldest first), then persist all of
@@ -336,23 +407,22 @@ let tentative_records t = List.length t.tentative
    scan stops at the first unpatched (still poisoned) checksum. *)
 let seal_tentative t =
   assert (not (has_open_record t));
-  match t.tentative with
-  | [] -> 0
-  | pend ->
-      let pend = List.rev pend in
-      List.iter
-        (fun (meta, crc, _) -> Pmem.store_int t.pm (meta + 16) crc)
-        pend;
-      List.iter
-        (fun (a, b) -> Pmem.flush_range t.pm a (b - a))
-        (List.rev_append t.pending_spans
-           (List.concat_map (fun (_, _, segs) -> segs) pend));
-      Pmem.sfence t.pm;
-      t.pending_spans <- [];
-      t.tentative <- [];
-      let n = List.length pend in
-      Specpmt_obs.Trace.emit "arena.seal" ~a:n;
-      n
+  if t.n_tent = 0 then 0
+  else begin
+    for i = 0 to t.n_tent - 1 do
+      Pmem.store_int t.pm (t.tent_meta.(i) + 16) t.tent_crc.(i)
+    done;
+    flush_pending t;
+    for i = 0 to t.n_tseg - 1 do
+      Pmem.flush_range t.pm t.tseg_a.(i) (t.tseg_b.(i) - t.tseg_a.(i))
+    done;
+    Pmem.sfence t.pm;
+    let n = t.n_tent in
+    t.n_tent <- 0;
+    t.n_tseg <- 0;
+    Specpmt_obs.Trace.emit "arena.seal" ~a:n;
+    n
+  end
 
 (* Shared valid-prefix walk, one pass per record: the checksum words and
    the entry list are accumulated by the same [walk_entries] traversal, so
@@ -525,7 +595,7 @@ let attach heap ~head_slot ~block_bytes =
    page is marked hot. *)
 let append_page_record ?(fence = false) t ~timestamp ~page_base =
   assert (not (has_open_record t));
-  assert (t.tentative = []);
+  assert (t.n_tent = 0);
   assert (Addr.page_of page_base = page_base);
   let need = meta_bytes + page_entry_bytes + 8 in
   if t.block_bytes < need + 8 then
@@ -533,7 +603,7 @@ let append_page_record ?(fence = false) t ~timestamp ~page_base =
       t.block_bytes;
   if t.pos + need > block_end t t.cur_block then begin
     Pmem.store_int t.pm t.pos skip_tag;
-    t.pending_spans <- (t.pos, t.pos + 8) :: t.pending_spans;
+    push_pend t t.pos (t.pos + 8);
     chain_block t
   end;
   let meta = t.pos in
@@ -563,11 +633,9 @@ let append_page_record ?(fence = false) t ~timestamp ~page_base =
   Pmem.store_int t.pm meta size;
   Pmem.store_int t.pm (meta + 8) timestamp;
   Pmem.store_int t.pm (meta + 16) !crc;
-  List.iter
-    (fun (a, b) -> Pmem.flush_range t.pm a (b - a))
-    ((meta, t.pos + 8) :: t.pending_spans);
+  Pmem.flush_range t.pm meta (t.pos + 8 - meta);
+  flush_pending t;
   if fence then Pmem.sfence t.pm;
-  t.pending_spans <- [];
   (* the page image scans as one word entry per page word *)
   count_entries t t.cur_block (Addr.page_size / 8)
 
@@ -579,14 +647,14 @@ let current_block t = t.cur_block
    committed record's flush run. *)
 let seal_block t =
   assert (not (has_open_record t));
-  assert (t.tentative = []);
+  assert (t.n_tent = 0);
   Pmem.store_int t.pm t.pos skip_tag;
-  t.pending_spans <- (t.pos, t.pos + 8) :: t.pending_spans;
+  push_pend t t.pos (t.pos + 8);
   chain_block t
 
 let drop_prefix t ~keep_from =
   assert (not (has_open_record t));
-  assert (t.tentative = []);
+  assert (t.n_tent = 0);
   (* blocks is newest-first; everything after [keep_from] is the prefix.
      One pass both finds the boundary and splits, instead of a [List.mem]
      probe followed by a second walk. *)
@@ -628,7 +696,7 @@ let drop_prefix t ~keep_from =
    sentinel before ever following it. *)
 let reset t =
   assert (not (has_open_record t));
-  assert (t.tentative = []);
+  assert (t.n_tent = 0);
   let head = t.head_block in
   Pmem.store_int t.pm (payload head) 0;
   Pmem.clwb t.pm (payload head);
@@ -644,7 +712,7 @@ let reset t =
   t.n_blocks <- 1;
   t.cur_block <- head;
   t.pos <- payload head;
-  t.pending_spans <- [];
+  t.n_pend <- 0;
   t.total_entries <- 0;
   Hashtbl.reset t.entries_per_block;
   Hashtbl.reset t.clean_starts;
@@ -653,7 +721,7 @@ let reset t =
 
 let compact t =
   assert (not (has_open_record t));
-  assert (t.tentative = []);
+  assert (t.n_tent = 0);
   (* freshest surviving (value, commit timestamp) per datum *)
   let freshest : (Addr.t, int * int) Hashtbl.t = Hashtbl.create 256 in
   let records = ref 0 and scanned = ref 0 in
@@ -719,7 +787,9 @@ let compact t =
   t.head_block <- t2.head_block;
   t.cur_block <- t2.cur_block;
   t.pos <- t2.pos;
-  t.pending_spans <- t2.pending_spans;
+  t.pend_a <- t2.pend_a;
+  t.pend_b <- t2.pend_b;
+  t.n_pend <- t2.n_pend;
   t.total_entries <- t2.total_entries;
   Hashtbl.reset t.entries_per_block;
   Hashtbl.iter (Hashtbl.replace t.entries_per_block) t2.entries_per_block;
@@ -762,7 +832,7 @@ let compact t =
    written is invisible to every crash point. *)
 let compact_indexed ?keep_from ?(on_place = fun _ ~block:_ -> ()) t ~live =
   assert (not (has_open_record t));
-  assert (t.tentative = []);
+  assert (t.n_tent = 0);
   (match keep_from with
   | Some b ->
       if not (List.mem b t.blocks) || not (Hashtbl.mem t.clean_starts b) then
@@ -840,7 +910,9 @@ let compact_indexed ?keep_from ?(on_place = fun _ ~block:_ -> ()) t ~live =
             t.head_block <- t2.head_block;
             t.cur_block <- t2.cur_block;
             t.pos <- t2.pos;
-            t.pending_spans <- t2.pending_spans;
+            t.pend_a <- t2.pend_a;
+            t.pend_b <- t2.pend_b;
+            t.n_pend <- t2.n_pend;
             t.total_entries <- t2.total_entries;
             Hashtbl.reset t.entries_per_block;
             Hashtbl.iter
@@ -869,10 +941,17 @@ let compact_indexed ?keep_from ?(on_place = fun _ ~block:_ -> ()) t ~live =
             t.blocks <- kept @ t2.blocks;
             t.n_blocks <- List.length t.blocks;
             t.head_block <- t2.head_block;
-            t.pending_spans <-
-              List.filter
-                (fun (a, _) -> not (Hashtbl.mem is_dropped a))
-                t.pending_spans;
+            (* drop pending chain-pointer spans that lived in evacuated
+               blocks; in-place filter keeps the append order *)
+            let kept_pend = ref 0 in
+            for i = 0 to t.n_pend - 1 do
+              if not (Hashtbl.mem is_dropped t.pend_a.(i)) then begin
+                t.pend_a.(!kept_pend) <- t.pend_a.(i);
+                t.pend_b.(!kept_pend) <- t.pend_b.(i);
+                incr kept_pend
+              end
+            done;
+            t.n_pend <- !kept_pend;
             t.total_entries <- t.total_entries + t2.total_entries;
             Hashtbl.iter
               (Hashtbl.replace t.entries_per_block)

@@ -8,7 +8,7 @@
 open Specpmt_pmem
 
 type slot = {
-  old_value : int;  (** value before the transaction's first write *)
+  mutable old_value : int;  (** value before the transaction's first write *)
   mutable entry_pos : int;
       (** backend-specific position of the cell's log entry; [-1] if the
           backend has not materialised one *)
@@ -21,41 +21,119 @@ type slot = {
           per-block liveness accounting behind adaptive reclamation *)
 }
 
-(* the order list carries the slot alongside the address so the commit
-   iteration never re-probes the hashtable *)
+(* Flat representation: cells in first-write order live in the parallel
+   [addrs]/[slots] arrays; a linear-probing index over the address space
+   maps address -> position.  Slot records are reused across transactions
+   ([clear] keeps them allocated), so the steady-state commit path does
+   no hashing through a generic Hashtbl and no allocation per write. *)
 type t = {
-  slots : (Addr.t, slot) Hashtbl.t;
-  mutable order : (Addr.t * slot) list;
+  mutable addrs : Addr.t array;
+  mutable slots : slot array; (* parallel to addrs; records are reused *)
+  mutable n : int;
+  mutable keys : Addr.t array; (* probe table: address, or -1 when empty *)
+  mutable vals : int array; (* probe table: position in addrs/slots *)
+  mutable mask : int; (* keys/vals length - 1, a power of two *)
 }
 
-let create () = { slots = Hashtbl.create 64; order = [] }
+(* shared placeholder for not-yet-materialised slot cells; recognised by
+   physical equality and replaced with a fresh record on first use *)
+let dummy_slot =
+  { old_value = 0; entry_pos = -1; last_value = 0; entry_block = -1 }
+
+let initial_cells = 64
+
+let create () =
+  {
+    addrs = Array.make initial_cells (-1);
+    slots = Array.make initial_cells dummy_slot;
+    n = 0;
+    keys = Array.make (4 * initial_cells) (-1);
+    vals = Array.make (4 * initial_cells) 0;
+    mask = (4 * initial_cells) - 1;
+  }
 
 let clear t =
-  Hashtbl.reset t.slots;
-  t.order <- []
+  t.n <- 0;
+  Array.fill t.keys 0 (t.mask + 1) (-1)
 
-let size t = Hashtbl.length t.slots
+let size t = t.n
+
+(* cells are 8-byte aligned, so fold the low bits out before mixing *)
+let hash_addr a = (a lsr 3) * 0x9E3779B1
+
+let probe t addr =
+  let h = ref (hash_addr addr land t.mask) in
+  while t.keys.(!h) >= 0 && t.keys.(!h) <> addr do
+    h := (!h + 1) land t.mask
+  done;
+  !h
+
+let insert_index t addr pos =
+  let h = probe t addr in
+  t.keys.(h) <- addr;
+  t.vals.(h) <- pos
+
+let grow t =
+  let cap = Array.length t.addrs in
+  let addrs = Array.make (2 * cap) (-1) in
+  let slots = Array.make (2 * cap) dummy_slot in
+  Array.blit t.addrs 0 addrs 0 t.n;
+  Array.blit t.slots 0 slots 0 cap;
+  t.addrs <- addrs;
+  t.slots <- slots;
+  (* keep the probe table at 4x the cell capacity: load factor <= 1/2 *)
+  t.keys <- Array.make (8 * cap) (-1);
+  t.vals <- Array.make (8 * cap) 0;
+  t.mask <- (8 * cap) - 1;
+  for i = 0 to t.n - 1 do
+    insert_index t t.addrs.(i) i
+  done
 
 (** [record t addr ~old_value] notes a write to [addr].  Returns the slot
     and whether this is the first write to that cell in the transaction. *)
 let record t addr ~old_value =
-  match Hashtbl.find_opt t.slots addr with
-  | Some slot -> (slot, false)
-  | None ->
-      let slot =
-        { old_value; entry_pos = -1; last_value = old_value; entry_block = -1 }
-      in
-      Hashtbl.replace t.slots addr slot;
-      t.order <- (addr, slot) :: t.order;
-      (slot, true)
+  let h = probe t addr in
+  if t.keys.(h) = addr then (t.slots.(t.vals.(h)), false)
+  else begin
+    if t.n = Array.length t.addrs then grow t;
+    let pos = t.n in
+    let slot = t.slots.(pos) in
+    let slot =
+      if slot == dummy_slot then begin
+        let s =
+          { old_value; entry_pos = -1; last_value = old_value;
+            entry_block = -1 }
+        in
+        t.slots.(pos) <- s;
+        s
+      end
+      else begin
+        slot.old_value <- old_value;
+        slot.entry_pos <- -1;
+        slot.last_value <- old_value;
+        slot.entry_block <- -1;
+        slot
+      end
+    in
+    t.addrs.(pos) <- addr;
+    t.n <- pos + 1;
+    insert_index t addr pos;
+    (slot, true)
+  end
 
-let find t addr = Hashtbl.find_opt t.slots addr
+let find t addr =
+  let h = probe t addr in
+  if t.keys.(h) = addr then Some t.slots.(t.vals.(h)) else None
 
 (** Iterate cells in first-write order (oldest first). *)
 let iter_in_order t f =
-  List.iter (fun (addr, slot) -> f addr slot) (List.rev t.order)
+  for i = 0 to t.n - 1 do
+    f t.addrs.(i) t.slots.(i)
+  done
 
 (** Iterate cells in reverse first-write order (newest first), the order an
     undo recovery applies compensation in. *)
 let iter_newest_first t f =
-  List.iter (fun (addr, slot) -> f addr slot) t.order
+  for i = t.n - 1 downto 0 do
+    f t.addrs.(i) t.slots.(i)
+  done

@@ -9,7 +9,9 @@
 open Specpmt_pmem
 
 type slot = {
-  old_value : int;  (** value before the transaction's first write *)
+  mutable old_value : int;
+      (** value before the transaction's first write (mutable only so the
+          container can recycle slot records across transactions) *)
   mutable entry_pos : int;
       (** backend-specific position of the cell's log entry; [-1] if the
           backend has not materialised one *)
@@ -35,9 +37,9 @@ val record : t -> Addr.t -> old_value:int -> slot * bool
 val find : t -> Addr.t -> slot option
 
 val iter_in_order : t -> (Addr.t -> slot -> unit) -> unit
-(** Cells in first-write order, oldest first.  The slots ride in the
-    order list itself, so iteration does no hashtable lookups — this is
-    the commit path. *)
+(** Cells in first-write order, oldest first.  A straight walk over the
+    flat cell arrays — no hashing, no allocation; this is the commit
+    path. *)
 
 val iter_newest_first : t -> (Addr.t -> slot -> unit) -> unit
 (** Reverse order — the order an undo rollback applies compensation in. *)

@@ -419,6 +419,43 @@ let test_nt_log_growth () =
   Alcotest.(check int) "all entries after growth" 20
     (List.length (Nt_log.scan log))
 
+let test_nt_log_stale_capacity_cell () =
+  (* regression: the region and capacity root cells can sit on different
+     cache lines, so a crash can persist the region pointer while
+     dropping the capacity store.  [attach] must derive the capacity
+     from the region's allocation header, not trust the cell — a stale
+     zero used to send every append through the grow path with a
+     doubled size of zero, and the degenerate region overran the
+     neighbouring heap block's header *)
+  let pm, heap = mk_pool ~crash_prob:0.0 () in
+  let log =
+    Nt_log.create heap ~region_slot:Hw_slots.ede_region
+      ~capacity_slot:Hw_slots.ede_capacity ~capacity:4
+  in
+  Nt_log.append log ~addr:100 ~old:1;
+  (* persist a stale zero over the capacity cell, as such a crash would
+     leave it *)
+  let cap_cell = Heap.root_slot heap Hw_slots.ede_capacity in
+  Pmem.store_int pm cap_cell 0;
+  Pmem.clwb pm cap_cell;
+  Pmem.sfence pm;
+  Pmem.crash pm;
+  let log2 =
+    Nt_log.attach heap ~region_slot:Hw_slots.ede_region
+      ~capacity_slot:Hw_slots.ede_capacity
+  in
+  Alcotest.(check (list (pair int int)))
+    "entry readable past the stale cell"
+    [ (100, 1) ]
+    (Nt_log.scan log2);
+  Nt_log.truncate log2;
+  (* in-place appends up to the real capacity, then a legitimate grow *)
+  for i = 1 to 9 do
+    Nt_log.append log2 ~addr:(i * 8) ~old:i
+  done;
+  Alcotest.(check int) "appends use the header-derived capacity" 9
+    (List.length (Nt_log.scan log2))
+
 (* multi-core hardware SpecPMT (Section 5.2.2) *)
 
 let mt_params =
@@ -736,6 +773,8 @@ let () =
           Alcotest.test_case "truncation hides stale entries" `Quick
             test_nt_log_truncation_hides_stale_entries;
           Alcotest.test_case "growth" `Quick test_nt_log_growth;
+          Alcotest.test_case "stale capacity cell after crash" `Quick
+            test_nt_log_stale_capacity_cell;
         ] );
       ( "multi-core",
         [

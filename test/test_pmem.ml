@@ -109,6 +109,67 @@ let test_capacity_eviction_persists () =
   (* an evicted line's content reached the media without any flush *)
   Alcotest.(check int) "evicted line persisted" 1 (Pmem.peek_media_int pm 0)
 
+let test_eviction_cost_random () =
+  (* regression: the victim's write-back cost used to be computed after
+     the write-back had already advanced [last_persist_line] to the
+     victim itself, so every capacity eviction billed the sequential
+     rate no matter how scattered the victims were *)
+  let pm =
+    Pmem.create
+      { cfg with cache_capacity_lines = 8; crash_word_persist_prob = 0.0 }
+  in
+  (* dirty lines at stride 2: no evicted line is ever adjacent to the
+     previously persisted one, so every write-back is a random write *)
+  for i = 0 to 63 do
+    Pmem.store_int pm (i * 2 * 64) (i + 1)
+  done;
+  let s = Pmem.stats pm in
+  let e = s.Stats.evictions in
+  Alcotest.(check bool) "evictions happened" true (e > 0);
+  Alcotest.(check (float 1e-6))
+    "every eviction bills the random-write rate"
+    (float_of_int e *. cfg.Config.pm_write_ns)
+    s.Stats.bg_ns
+
+let test_clflushopt_leaves_no_stale_fifo_entry () =
+  (* regression: clflushopt used to leave the invalidated line's entry
+     in the FIFO eviction queue; re-fetching the line then gave it two
+     queue entries, and the stale one evicted the hot line out of turn *)
+  let pm =
+    Pmem.create
+      { cfg with cache_capacity_lines = 8; crash_word_persist_prob = 0.0 }
+  in
+  for i = 0 to 7 do
+    Pmem.store_int pm (i * 64) (i + 1)
+  done;
+  Pmem.clflushopt pm 0;
+  (* re-fetch line 0: it must re-enter the FIFO as the newest resident *)
+  Pmem.store_int pm 0 42;
+  (* ninth resident line forces one eviction — of line 1, the oldest *)
+  Pmem.store_int pm (8 * 64) 9;
+  Alcotest.(check int) "one eviction" 1 (Pmem.stats pm).Stats.evictions;
+  let r0 = (Pmem.stats pm).Stats.pm_read_lines in
+  ignore (Pmem.load_int pm 0);
+  Alcotest.(check int) "hot line 0 still resident" r0
+    (Pmem.stats pm).Stats.pm_read_lines;
+  ignore (Pmem.load_int pm 64);
+  Alcotest.(check int) "line 1 was the victim" (r0 + 1)
+    (Pmem.stats pm).Stats.pm_read_lines
+
+let test_trace_ranged_ops () =
+  let pm = Pmem.create cfg in
+  Pmem.set_trace pm 4;
+  let b = Pmem.load_bytes pm 0 24 in
+  Pmem.store_bytes pm 128 b;
+  (* ranged accesses appear in the ring as one op each, not as their
+     per-line expansion *)
+  match Pmem.recent_ops pm with
+  | [ Pmem.Load_bytes (0, 24); Pmem.Store_bytes (128, 24) ] -> ()
+  | ops ->
+      Alcotest.failf "unexpected trace: %a"
+        Fmt.(list ~sep:comma Pmem.pp_op)
+        ops
+
 let test_unmetered () =
   let pm = Pmem.create cfg in
   Pmem.with_unmetered pm (fun () ->
@@ -246,6 +307,12 @@ let () =
             test_dirty_words_coinflip_all;
           Alcotest.test_case "capacity eviction persists" `Quick
             test_capacity_eviction_persists;
+          Alcotest.test_case "random evictions bill random-write rate" `Quick
+            test_eviction_cost_random;
+          Alcotest.test_case "clflushopt leaves no stale FIFO entry" `Quick
+            test_clflushopt_leaves_no_stale_fifo_entry;
+          Alcotest.test_case "trace records ranged ops" `Quick
+            test_trace_ranged_ops;
           Alcotest.test_case "nt store" `Quick test_nt_store;
           Alcotest.test_case "clflushopt invalidates" `Quick
             test_clflushopt_invalidates;
