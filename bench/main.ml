@@ -11,7 +11,8 @@
                                               -- grid points on 4 domains
 
    Experiments: table1 table2 table3 fig1 fig12 fig13 fig14 fig15 hashlog
-   ablation sweeps recovery recovery-sweep eadr hotness bechamel.
+   ablation sweeps recovery recovery-sweep svc svc-scale ycsb eadr hotness
+   bechamel.
    Measurements are simulated time and traffic; the
    paper's reference numbers are printed alongside (see EXPERIMENTS.md for
    the comparison discussion). *)
@@ -80,6 +81,15 @@ let svc_scale_rows : Json.t list ref = ref []
 let record_svc_scale row =
   if !json_path <> None then svc_scale_rows := row :: !svc_scale_rows
 
+(* Sections of the open-loop YCSB experiment (`ycsb`) — additive `ycsb`
+   top-level key split invariant / modelled / measured: the invariant
+   half must be byte-identical across --jobs and domain counts (CI diffs
+   it); modelled is simulated-time performance; measured is wall clock. *)
+let ycsb_sections : (string * Json.t) list ref = ref []
+
+let record_ycsb k v =
+  if !json_path <> None then ycsb_sections := (k, v) :: !ycsb_sections
+
 let write_json_report ~wall_s path =
   let seen = Hashtbl.create 64 in
   let results =
@@ -111,6 +121,8 @@ let write_json_report ~wall_s path =
           else [ ("svc", Json.List (List.rev !svc_rows)) ])
        @ (if !svc_scale_rows = [] then []
           else [ ("svc_scale", Json.List (List.rev !svc_scale_rows)) ])
+       @ (if !ycsb_sections = [] then []
+          else [ ("ycsb", Json.Obj (List.rev !ycsb_sections)) ])
        (* additive harness-timing key: wall-clock of the selected
           experiments, the denominator of the --jobs speedup *)
        @ [ ("wall_s", Json.Float wall_s) ]));
@@ -1075,6 +1087,243 @@ let svc_scale () =
     | [] -> 1.0)
     (match List.rev results with (d, _) :: _ -> d | [] -> 1)
 
+(* ---------- Extension: open-loop YCSB suite ---------- *)
+
+(* Offered load vs goodput on the sharded KV service: a saturation probe
+   measures capacity, a rate sweep above and below it shows the knee
+   (goodput pins at capacity while offered load rises and admission
+   sheds appear), and the standard YCSB mixes run at half capacity.
+   Every Openloop report is a pure function of (stream, config), so the
+   sweep fans out over the domain pool and the JSON `ycsb` key's
+   invariant section is byte-identical for any --jobs.  Latency is
+   CO-safe: measured from each op's scheduled arrival, so backlogged
+   ops keep accruing (see lib/svc/openloop.mli). *)
+let ycsb () =
+  header
+    "Extension: open-loop YCSB — offered load vs goodput, the saturation \
+     knee, and recovery under load (lib/svc/openloop)";
+  let shards = 4 and batch_max = 8 and depth = 32 and keys = 1024 in
+  let ops =
+    match !scale with
+    | Workload.Quick -> 2_000
+    | Workload.Small -> 6_000
+    | Workload.Full -> 16_000
+  in
+  let seed = 42 in
+  let stream_of mix =
+    Svc.Scenario.op_stream (Svc.Scenario.spec mix) ~ops ~keys ~seed
+  in
+  let run_open ~rate stream =
+    Obs.Metrics.reset_all ();
+    let pm = Pmem.create ~seed Pmem_config.default in
+    let heap = Heap.create pm in
+    let svc =
+      Svc.Service.create heap { Svc.Service.shards; batch_max; depth; keys }
+    in
+    Svc.Openloop.run svc
+      { Svc.Openloop.rate; arrivals = Svc.Openloop.Poisson; seed = 7 }
+      stream
+  in
+  let open Svc.Openloop in
+  let q r p = Obs.Hist.quantile r.latency p in
+  (* deterministic identity of one open-loop run — the invariant rows *)
+  let inv r =
+    [
+      ("ops", Json.Int r.ops);
+      ("reads", Json.Int r.reads);
+      ("writes", Json.Int r.writes);
+      ("rmws", Json.Int r.rmws);
+      ("scans", Json.Int r.scans);
+      ("attempts", Json.Int r.attempts);
+      ("rejects", Json.Int r.rejects);
+      ("max_backlog", Json.Int r.max_backlog);
+      ("fences", Json.Int r.fences);
+    ]
+  in
+  (* 1: capacity — the saturation probe on mix A *)
+  let a_stream = stream_of Svc.Scenario.A in
+  let cap_r = run_open ~rate:0.0 a_stream in
+  let cap = cap_r.goodput_ops_per_sec in
+  Printf.printf
+    "\nmeasured capacity (saturation probe, mix A, %d ops): %.0f ops/s\n" ops
+    cap;
+  (* 2: rate sweep around the knee — each point its own service *)
+  let mults = [ 0.25; 0.5; 1.0; 2.0; 4.0 ] in
+  let sweep =
+    Par.map_list ~jobs:(max 1 !jobs)
+      (fun m -> run_open ~rate:(m *. cap) a_stream)
+      mults
+  in
+  Printf.printf
+    "\nrate sweep (mix A, %d shards x depth %d, batch_max %d):\n" shards
+    depth batch_max;
+  Printf.printf "%-8s %12s %12s %8s %8s %10s %10s\n" "x cap" "offered/s"
+    "goodput/s" "rejects" "backlog" "p50 ns" "p99 ns";
+  List.iter2
+    (fun m r ->
+      Printf.printf "%-8.2f %12.0f %12.0f %8d %8d %10d %10d\n" m
+        r.offered_ops_per_sec r.goodput_ops_per_sec r.rejects r.max_backlog
+        (q r 0.5) (q r 0.99))
+    mults sweep;
+  let over = List.nth sweep (List.length sweep - 1) in
+  Printf.printf
+    "shape: past the knee goodput %s at capacity (%.0f <= 1.1 x %.0f) and \
+     admission %s (%d rejects)\n"
+    (if over.goodput_ops_per_sec <= 1.1 *. cap then "pins" else "DOES NOT pin")
+    over.goodput_ops_per_sec cap
+    (if over.rejects > 0 then "sheds" else "DOES NOT shed")
+    over.rejects;
+  (* 3: every YCSB mix at half capacity *)
+  let mix_reports =
+    Par.map_list ~jobs:(max 1 !jobs)
+      (fun mix -> run_open ~rate:(0.5 *. cap) (stream_of mix))
+      Svc.Scenario.all_mixes
+  in
+  Printf.printf "\nmixes at 0.5x capacity (%.0f ops/s offered):\n"
+    (0.5 *. cap);
+  Printf.printf "%-4s %7s %7s %6s %6s %12s %10s %10s %8s\n" "mix" "reads"
+    "writes" "rmws" "scans" "goodput/s" "p99 ns" "fences/op" "rejects";
+  List.iter2
+    (fun mix r ->
+      Printf.printf "%-4s %7d %7d %6d %6d %12.0f %10d %10.3f %8d\n"
+        (Svc.Scenario.mix_to_string mix)
+        r.reads r.writes r.rmws r.scans r.goodput_ops_per_sec (q r 0.99)
+        r.fences_per_op r.rejects)
+    Svc.Scenario.all_mixes mix_reports;
+  (* 4: the data plane serves scenario streams with an invariant report
+     independent of the domain count (mix F: rmw under group commit) *)
+  let dp_fingerprint domains =
+    let pm = Pmem.create ~seed:21 Pmem_config.default in
+    let heap = Heap.create pm in
+    let cfg =
+      {
+        Svc.Dataplane.shards;
+        domains;
+        batch_max;
+        depth;
+        keys;
+        log_region_bytes = Svc.Dataplane.default_log_region_bytes;
+      }
+    in
+    let plane = Svc.Dataplane.create heap cfg in
+    let r = Svc.Dataplane.run plane (stream_of Svc.Scenario.F) in
+    let open Svc.Dataplane in
+    ( r.total_ops,
+      (r.reads, r.writes, r.rmws, r.scans),
+      r.reads_sum,
+      r.table_crc,
+      r.fences,
+      r.sealed_records )
+  in
+  let fp1 = dp_fingerprint 1 in
+  let dp_same = fp1 = dp_fingerprint 2 in
+  Printf.printf
+    "\ndata plane (mix F): invariant report %s across 1 vs 2 domains\n"
+    (if dp_same then "identical" else "DIVERGES");
+  (* 5: recovery under load — crash the plane mid-traffic on a read/write
+     mix, audit acked-durable/unacked-invisible, resume on the backlog *)
+  let rec_stream = stream_of Svc.Scenario.B in
+  let rv =
+    let pm = Pmem.create ~seed:21 Pmem_config.default in
+    let heap = Heap.create pm in
+    let cfg =
+      {
+        Svc.Dataplane.shards;
+        domains = 2;
+        batch_max;
+        depth;
+        keys;
+        log_region_bytes = Svc.Dataplane.default_log_region_bytes;
+      }
+    in
+    Svc.Openloop.recovery_under_load heap cfg rec_stream ~fuse_batches:20
+  in
+  Printf.printf "\n%s" (Format.asprintf "%a" Svc.Openloop.pp_recovery rv);
+  record_ycsb "invariant"
+    (Json.Obj
+       [
+         ( "config",
+           Json.Obj
+             [
+               ("shards", Json.Int shards);
+               ("batch_max", Json.Int batch_max);
+               ("depth", Json.Int depth);
+               ("keys", Json.Int keys);
+               ("ops", Json.Int ops);
+               ("seed", Json.Int seed);
+             ] );
+         ("capacity_probe", Json.Obj (inv cap_r));
+         ( "rate_sweep",
+           Json.List
+             (List.map2
+                (fun m r -> Json.Obj (("rate_x", Json.Float m) :: inv r))
+                mults sweep) );
+         ( "mixes",
+           Json.List
+             (List.map2
+                (fun mix r ->
+                  Json.Obj
+                    (("mix", Json.Str (Svc.Scenario.mix_to_string mix))
+                    :: inv r))
+                Svc.Scenario.all_mixes mix_reports) );
+         ( "dataplane_domains",
+           Json.Obj [ ("identical_1_vs_2", Json.Bool dp_same) ] );
+         ( "recovery",
+           Json.Obj
+             [
+               ("fuse_batches", Json.Int rv.rv_fuse);
+               ("halted", Json.Bool rv.rv_halted);
+               ("recover_ns", Json.Float rv.rv_recover_ns);
+               ("audit_failures", Json.Int rv.rv_audit_failures);
+             ] );
+       ]);
+  record_ycsb "modelled"
+    (Json.Obj
+       [
+         ("capacity_ops_per_sec", Json.Float cap);
+         ( "rate_sweep",
+           Json.List
+             (List.map2
+                (fun m r ->
+                  Json.Obj
+                    [
+                      ("rate_x", Json.Float m);
+                      ("offered_ops_per_sec", Json.Float r.offered_ops_per_sec);
+                      ("goodput_ops_per_sec", Json.Float r.goodput_ops_per_sec);
+                      ("p50_ns", Json.Int (q r 0.5));
+                      ("p99_ns", Json.Int (q r 0.99));
+                      ("span_ns", Json.Float r.span_ns);
+                    ])
+                mults sweep) );
+         ( "mixes",
+           Json.List
+             (List.map2
+                (fun mix r ->
+                  Json.Obj
+                    [
+                      ("mix", Json.Str (Svc.Scenario.mix_to_string mix));
+                      ("goodput_ops_per_sec", Json.Float r.goodput_ops_per_sec);
+                      ("p99_ns", Json.Int (q r 0.99));
+                      ("fences_per_op", Json.Float r.fences_per_op);
+                    ])
+                Svc.Scenario.all_mixes mix_reports) );
+       ]);
+  record_ycsb "measured"
+    (Json.Obj
+       [
+         ( "recovery",
+           Json.Obj
+             [
+               ("acked_before_crash", Json.Int rv.rv_acked_before);
+               ("backlog_ops", Json.Int rv.rv_backlog);
+               ("resumed_ops", Json.Int rv.rv_resumed);
+               ("recover_wall_s", Json.Float rv.rv_recover_wall_s);
+               ("first_ack_wall_s", Json.Float rv.rv_first_ack_wall_s);
+               ("rto_wall_s", Json.Float rv.rv_rto_wall_s);
+               ("total_wall_s", Json.Float rv.rv_total_wall_s);
+             ] );
+       ])
+
 (* ---------- Bechamel wall-clock microbenches ---------- *)
 
 let bechamel () =
@@ -1170,6 +1419,7 @@ let all_experiments =
     ("recovery-sweep", recovery_sweep);
     ("svc", svc);
     ("svc-scale", svc_scale);
+    ("ycsb", ycsb);
     ("eadr", eadr);
     ("hotness", hotness);
     ("bechamel", bechamel);

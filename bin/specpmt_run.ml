@@ -614,6 +614,214 @@ let svc_bench_cmd =
       $ skew_arg $ clients_arg $ ops_arg $ keys_arg $ seed_arg $ reclaim_arg
       $ recovery_arg $ jobs_arg $ domains_arg $ json_arg)
 
+let ycsb_cmd =
+  let mix_arg =
+    Arg.(
+      value & opt string "A"
+      & info [ "workload" ] ~docv:"MIX"
+          ~doc:
+            "YCSB mix: $(b,A) (50/50 read/update), $(b,B) (95/5), $(b,C) \
+             (read-only), $(b,D) (read-latest), $(b,E) (short scans), \
+             $(b,F) (read-modify-write).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt string "0"
+      & info [ "rate" ] ~docv:"R[,R..]"
+          ~doc:
+            "Offered arrival rate(s), ops per second of simulated time; \
+             $(b,0) is the saturation probe (every op due at t = 0, \
+             goodput = measured capacity).  A comma-separated list sweeps \
+             every rate on $(b,--jobs) domains; reports print in list \
+             order and are byte-identical for any jobs count.")
+  in
+  let arrivals_arg =
+    Arg.(
+      value & opt string "poisson"
+      & info [ "arrivals" ] ~docv:"PROC"
+          ~doc:
+            "Arrival process: $(b,poisson) or $(b,burst[:ON_MS:OFF_MS]) \
+             (on/off arrivals, Poisson inside ON windows).")
+  in
+  let ops_arg =
+    Arg.(value & opt int 6_000 & info [ "ops" ] ~doc:"Operations to offer.")
+  in
+  let keys_arg =
+    Arg.(value & opt int 1024 & info [ "keys" ] ~doc:"KV table size.")
+  in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Service shards.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "batch" ] ~doc:"Transactions per group-commit batch.")
+  in
+  let depth_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "depth" ] ~doc:"Per-shard admission (inflight) bound.")
+  in
+  let theta_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "theta" ] ~doc:"Zipf theta of the key distribution.")
+  in
+  let scan_max_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "scan-max" ] ~doc:"Maximum scan length (mix E).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ]
+          ~doc:
+            "Worker domains of the data plane for the recovery drill \
+             (only with $(b,--fuse-batches)).")
+  in
+  let fuse_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuse-batches" ] ~docv:"K"
+          ~doc:
+            "Recovery-under-load drill: halt the data plane after its \
+             $(docv)-th batch, crash, recover, audit every cell \
+             (acked-durable/unacked-invisible) and resume under the \
+             arrival backlog.  Exits nonzero on a dirty audit.  Only \
+             read/write mixes (A-D) can be audited.")
+  in
+  let run mix rates arrivals ops keys shards batch depth theta scan_max seed
+      domains fuse jobs json =
+    let fail fmt = Fmt.kpf (fun _ -> exit 2) Fmt.stderr fmt in
+    if jobs < 1 then fail "specpmt_run: --jobs must be at least 1@.";
+    let mix =
+      match Svc.Scenario.mix_of_string mix with
+      | Ok m -> m
+      | Error e -> fail "specpmt_run: %s@." e
+    in
+    let arrivals =
+      match Svc.Openloop.arrivals_of_string arrivals with
+      | Ok a -> a
+      | Error e -> fail "specpmt_run: %s@." e
+    in
+    let rates =
+      String.split_on_char ',' rates
+      |> List.map (fun s ->
+             match float_of_string_opt (String.trim s) with
+             | Some r -> r
+             | None -> fail "specpmt_run: bad --rate %S (float list)@." s)
+    in
+    let sp = Svc.Scenario.spec ~theta ~scan_max mix in
+    let stream = Svc.Scenario.op_stream sp ~ops ~keys ~seed in
+    match fuse with
+    | Some fuse_batches ->
+        (* recovery drill: the fuse is the one-line reproducible crash *)
+        let t = Svc.Scenario.tally stream in
+        if t.Svc.Scenario.t_rmws > 0 || t.Svc.Scenario.t_scans > 0 then
+          fail
+            "specpmt_run: --fuse-batches audits read/write mixes only \
+             (A-D), not %s@."
+            (Svc.Scenario.mix_to_string mix);
+        if domains < 1 then fail "specpmt_run: --domains must be at least 1@.";
+        if domains > shards then
+          fail "specpmt_run: --domains must be at most --shards@.";
+        let pm =
+          Pmem.create ~seed
+            { Pmem_config.default with mem_size = 64 * 1024 * 1024 }
+        in
+        let heap = Heap.create pm in
+        let cfg =
+          {
+            Svc.Dataplane.shards;
+            domains;
+            batch_max = batch;
+            depth;
+            keys;
+            log_region_bytes = Svc.Dataplane.default_log_region_bytes;
+          }
+        in
+        let r =
+          Svc.Openloop.recovery_under_load heap cfg stream ~fuse_batches
+        in
+        Fmt.pr "%a" Svc.Openloop.pp_recovery r;
+        Option.iter
+          (fun path ->
+            Json.to_file path
+              (Json.Obj
+                 [
+                   ("schema_version", Json.Int Run.schema_version);
+                   ("generator", Json.Str "specpmt-ycsb-recovery");
+                   ("workload", Json.Str (Svc.Scenario.mix_to_string mix));
+                   ("report", Svc.Openloop.recovery_to_json r);
+                 ]);
+            Fmt.pr "wrote JSON report to %s@." path)
+          json;
+        if r.Svc.Openloop.rv_audit_failures > 0 then exit 1
+    | None ->
+        (* One independent service per rate: the sweep points share
+           nothing, so they fan out over the domain pool and the reports
+           are byte-identical for any --jobs. *)
+        let run_one rate =
+          Obs.Phase.reset ();
+          Obs.Metrics.reset_all ();
+          let pm =
+            Pmem.create ~seed
+              { Pmem_config.default with mem_size = 64 * 1024 * 1024 }
+          in
+          let heap = Heap.create pm in
+          let svc =
+            Svc.Service.create heap
+              { Svc.Service.shards; batch_max = batch; depth; keys }
+          in
+          Svc.Openloop.run svc { Svc.Openloop.rate; arrivals; seed } stream
+        in
+        let reports = Par.map_list ~jobs run_one rates in
+        let sweep = List.length rates > 1 in
+        List.iter2
+          (fun rate r ->
+            if sweep then Fmt.pr "--- rate %g ---@." rate;
+            Fmt.pr "workload %s (%s)@."
+              (Svc.Scenario.mix_to_string mix)
+              (Svc.Scenario.dist_to_string sp.Svc.Scenario.dist);
+            Fmt.pr "%a" Svc.Openloop.pp r)
+          rates reports;
+        Option.iter
+          (fun path ->
+            let body =
+              match (rates, reports) with
+              | [ _ ], [ r ] -> [ ("report", Svc.Openloop.report_to_json r) ]
+              | _ ->
+                  [
+                    ( "reports",
+                      Json.List
+                        (List.map Svc.Openloop.report_to_json reports) );
+                  ]
+            in
+            Json.to_file path
+              (Json.Obj
+                 ([
+                    ("schema_version", Json.Int Run.schema_version);
+                    ("generator", Json.Str "specpmt-ycsb");
+                    ("workload", Json.Str (Svc.Scenario.mix_to_string mix));
+                    ("spec", Svc.Scenario.spec_to_json sp);
+                  ]
+                 @ body));
+            Fmt.pr "wrote JSON report to %s@." path)
+          json
+  in
+  Cmd.v
+    (Cmd.info "ycsb"
+       ~doc:
+         "Drive a YCSB mix through the sharded KV service open-loop \
+          (scheduled arrivals, coordinated-omission-safe latency), or \
+          crash it mid-traffic with --fuse-batches")
+    Term.(
+      const run $ mix_arg $ rate_arg $ arrivals_arg $ ops_arg $ keys_arg
+      $ shards_arg $ batch_arg $ depth_arg $ theta_arg $ scan_max_arg
+      $ seed_arg $ domains_arg $ fuse_arg $ jobs_arg $ json_arg)
+
 let () =
   let info = Cmd.info "specpmt_run" ~doc:"SpecPMT workload runner" in
   exit
@@ -627,4 +835,5 @@ let () =
             fuzz_cmd;
             explore_cmd;
             svc_bench_cmd;
+            ycsb_cmd;
           ]))

@@ -71,6 +71,8 @@ type t = {
   adm : (int * Service.op * int) Admission.t array;  (* router-side *)
   addr_of_key : Addr.t array;
   owner : int array;  (* key -> shard *)
+  owned_keys : int array array;  (* shard -> its keys, ascending *)
+  rank : int array;  (* key -> position in its shard's row *)
   req_rings : msg Spsc.t array;  (* router -> domain *)
   ack_rings : comp Spsc.t array;  (* domain -> router *)
 }
@@ -104,24 +106,30 @@ let create ?(params = Spec_soft.default_params) t_heap cfg =
   let params = clamp_reclaim params ~log_region_bytes:cfg.log_region_bytes in
   let pm = Heap.pmem t_heap in
   let owner = Array.init cfg.keys (Service.route ~shards:cfg.shards) in
+  (* per-shard ownership tables, built once: ascending owned-key rows
+     (formatting + adoption iterate them; [Scan] walks them) and each
+     key's rank within its row *)
+  let owned_rev = Array.make cfg.shards [] in
+  for k = cfg.keys - 1 downto 0 do
+    owned_rev.(owner.(k)) <- k :: owned_rev.(owner.(k))
+  done;
+  let owned_keys = Array.map Array.of_list owned_rev in
+  let rank = Array.make cfg.keys 0 in
+  Array.iter (fun row -> Array.iteri (fun i k -> rank.(k) <- i) row) owned_keys;
   (* Parent-side formatting: per-shard line-aligned key regions (packed
      cells, so a shard's keys share lines only with each other) and
      per-shard carved log regions. *)
   let addr_of_key = Array.make cfg.keys 0 in
-  Array.iteri
-    (fun s _ ->
-      let owned = ref [] in
-      for k = cfg.keys - 1 downto 0 do
-        if owner.(k) = s then owned := k :: !owned
-      done;
-      match !owned with
-      | [] -> ()
-      | owned ->
-          let n = List.length owned in
+  Array.iter
+    (fun row ->
+      match row with
+      | [||] -> ()
+      | row ->
+          let n = Array.length row in
           let raw = Heap.alloc t_heap ((n * 8) + Addr.line_size) in
           let base = Addr.align_up raw Addr.line_size in
-          List.iteri (fun i k -> addr_of_key.(k) <- base + (i * 8)) owned)
-    (Array.make cfg.shards ());
+          Array.iteri (fun i k -> addr_of_key.(k) <- base + (i * 8)) row)
+    owned_keys;
   let regions =
     Array.init cfg.shards (fun _ ->
         Heap.carve_region t_heap ~bytes:cfg.log_region_bytes)
@@ -151,19 +159,15 @@ let create ?(params = Spec_soft.default_params) t_heap cfg =
      router through each shard's view — before any worker spawns, so
      the spawn provides the happens-before edge. *)
   Array.iteri
-    (fun s _ ->
-      let owned = ref [] in
-      for k = cfg.keys - 1 downto 0 do
-        if owner.(k) = s then owned := k :: !owned
-      done;
-      match !owned with
-      | [] -> ()
-      | owned ->
+    (fun s row ->
+      match row with
+      | [||] -> ()
+      | row ->
           (Spec_mt.thread pool s).Specpmt_txn.Ctx.run_tx (fun ctx ->
-              List.iter
+              Array.iter
                 (fun k -> ctx.Specpmt_txn.Ctx.write addr_of_key.(k) 0)
-                owned))
-    (Array.make cfg.shards ());
+                row))
+    owned_keys;
   let spd = (cfg.shards + cfg.domains - 1) / cfg.domains in
   let ring_cap = (spd * cfg.depth) + 8 in
   {
@@ -177,6 +181,8 @@ let create ?(params = Spec_soft.default_params) t_heap cfg =
     adm = Array.init cfg.shards (fun _ -> Admission.create ~depth:cfg.depth);
     addr_of_key;
     owner;
+    owned_keys;
+    rank;
     req_rings =
       Array.init cfg.domains (fun _ ->
           Spsc.create ~dummy:(Stop { detach = false }) ~capacity:ring_cap);
@@ -219,7 +225,9 @@ type report = {
   total_ops : int;
   reads : int;
   writes : int;
-  reads_sum : int;  (** checksum over read results *)
+  rmws : int;
+  scans : int;
+  reads_sum : int;  (** checksum over read/rmw/scan results *)
   table_crc : int;  (** final key-table fingerprint (clean runs only) *)
   fences : int;
   batches : int;
@@ -245,21 +253,48 @@ let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
   let cfg = t.cfg in
   let n_ops = Array.length stream in
   Array.iter
-    (fun (k, _) ->
-      if k < 0 || k >= cfg.keys then invalid_arg "Dataplane.run: bad key")
+    (fun (k, op) ->
+      if k < 0 || k >= cfg.keys then invalid_arg "Dataplane.run: bad key";
+      match op with
+      | Service.Scan len when len < 1 ->
+          invalid_arg "Dataplane.run: scan length < 1"
+      | _ -> ())
     stream;
   let before = Array.map (fun v -> Stats.copy (Pmem.stats v)) t.views in
   let worker d () =
     (* one transaction closure per worker, reused for every op: the
        per-op state flows through the captured cells, so the batch loop
        allocates only the two completion arrays the router needs anyway *)
-    let cur_addr = ref 0 and cur_op = ref Service.Read and cur_res = ref 0 in
+    let cur_key = ref 0
+    and cur_shard = ref 0
+    and cur_op = ref Service.Read
+    and cur_res = ref 0 in
     let job ctx =
       match !cur_op with
       | Service.Write v ->
-          ctx.Specpmt_txn.Ctx.write !cur_addr v;
+          ctx.Specpmt_txn.Ctx.write t.addr_of_key.(!cur_key) v;
           cur_res := v
-      | Service.Read -> cur_res := ctx.Specpmt_txn.Ctx.read !cur_addr
+      | Service.Read ->
+          cur_res := ctx.Specpmt_txn.Ctx.read t.addr_of_key.(!cur_key)
+      | Service.Rmw d ->
+          (* one transaction: read + dependent write under one record *)
+          let a = t.addr_of_key.(!cur_key) in
+          let v = ctx.Specpmt_txn.Ctx.read a + d in
+          ctx.Specpmt_txn.Ctx.write a v;
+          cur_res := v
+      | Service.Scan len ->
+          (* shard-local scan (same stub as the serial service): only
+             this shard's cells are touched, so line-disjointness holds *)
+          let row = t.owned_keys.(!cur_shard) in
+          let start = t.rank.(!cur_key) in
+          let stop = min (Array.length row) (start + len) in
+          let sum = ref 0 in
+          for j = start to stop - 1 do
+            sum :=
+              (!sum + ctx.Specpmt_txn.Ctx.read t.addr_of_key.(row.(j)))
+              land max_int
+          done;
+          cur_res := !sum
     in
     let running = ref true in
     while !running do
@@ -271,7 +306,8 @@ let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
           Group_commit.batch_begin gc;
           for i = 0 to m - 1 do
             let key, op, idx = b_reqs.(i) in
-            cur_addr := t.addr_of_key.(key);
+            cur_key := key;
+            cur_shard := b_shard;
             cur_op := op;
             Group_commit.exec gc job;
             cp_idx.(i) <- idx;
@@ -297,6 +333,7 @@ let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
   let lat = Hist.create () in
   let acked = Array.make cfg.shards 0 in
   let reads = ref 0 and writes = ref 0 and reads_sum = ref 0 in
+  let rmws = ref 0 and scans = ref 0 in
   let stalls = ref 0 in
   let batches_sent = ref 0 in
   let drain_acks () =
@@ -317,7 +354,14 @@ let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
               | Service.Read ->
                   incr reads;
                   reads_sum := (!reads_sum + value) land max_int
-              | Service.Write _ -> incr writes);
+              | Service.Write _ -> incr writes
+              | Service.Rmw _ ->
+                  (* the new value is read-dependent: checksum it too *)
+                  incr rmws;
+                  reads_sum := (!reads_sum + value) land max_int
+              | Service.Scan _ ->
+                  incr scans;
+                  reads_sum := (!reads_sum + value) land max_int);
               on_ack ~idx ~value;
               Hist.observe lat (int_of_float ((now -. enq_wall.(idx)) *. 1e9))
             done)
@@ -413,6 +457,8 @@ let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
     total_ops;
     reads = !reads;
     writes = !writes;
+    rmws = !rmws;
+    scans = !scans;
     reads_sum = !reads_sum;
     table_crc = (if halted then 0 else table_crc t);
     fences = isum (fun d -> d.Stats.fences);
@@ -487,6 +533,8 @@ let report_to_json cfg r =
             ("total_ops", Json.Int r.total_ops);
             ("reads", Json.Int r.reads);
             ("writes", Json.Int r.writes);
+            ("rmws", Json.Int r.rmws);
+            ("scans", Json.Int r.scans);
             ("reads_sum", Json.Int r.reads_sum);
             ("table_crc", Json.Int r.table_crc);
             ("fences", Json.Int r.fences);
@@ -527,8 +575,10 @@ let pp ppf (cfg, r) =
   Fmt.pf ppf
     "dataplane: %d shards on %d domains, batch_max %d, depth %d, %d keys@\n"
     cfg.shards r.domains cfg.batch_max cfg.depth cfg.keys;
-  Fmt.pf ppf "  %d ops (%d reads / %d writes), %d batches, %d sealed@\n"
-    r.total_ops r.reads r.writes r.batches r.sealed_records;
+  Fmt.pf ppf
+    "  %d ops (%d reads / %d writes / %d rmws / %d scans), %d batches, \
+     %d sealed@\n"
+    r.total_ops r.reads r.writes r.rmws r.scans r.batches r.sealed_records;
   Fmt.pf ppf
     "  measured: %.3f s wall, %.0f ops/s, latency us p50=%.1f p99=%.1f \
      (%d router stalls)@\n"

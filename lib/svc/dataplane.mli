@@ -65,7 +65,10 @@ type report = {
   total_ops : int;
   reads : int;
   writes : int;
-  reads_sum : int;  (** checksum over read results (invariant) *)
+  rmws : int;  (** read-modify-write transactions acknowledged *)
+  scans : int;  (** shard-local short scans acknowledged *)
+  reads_sum : int;
+      (** checksum over read, rmw and scan results (invariant) *)
   table_crc : int;  (** final table fingerprint; 0 on halted runs *)
   fences : int;
   batches : int;
@@ -91,6 +94,12 @@ val run :
 (** Spawn the workers, route the stream, join.  A clean run waits out
     every inflight op and detaches each worker's cache, so the parent
     afterwards observes the merged image ({!peek}, [table_crc]).
+    Raises [Invalid_argument] on an out-of-range key or a
+    {!Service.op.Scan} of length < 1.
+
+    All four op kinds run as single transactions on the owning shard's
+    domain; {!Service.op.Scan} only ever touches cells of the anchor
+    key's shard, so the per-line ownership discipline is untouched.
 
     [halt_after_batches = n] is the deterministic crash drill: the
     router stops submitting the moment the [n]-th batch has been sent

@@ -40,26 +40,38 @@ let zipf_sampler ~n ~theta st =
       !lo
   end
 
+(* THE one seeded drawer: key draw, then mix coin, then a unique write
+   value keyed on the draw's position.  Both {!op_stream} and {!run}
+   call it, so the stream a config describes and the ops the
+   closed-loop clients actually issue are the same sequence by
+   construction (previously the two open-coded copies of this logic
+   could drift). *)
+let drawer cfg ~keys =
+  let st = Random.State.make [| 0x5EC; cfg.seed |] in
+  let draw_key = zipf_sampler ~n:keys ~theta:cfg.skew st in
+  let pos = ref 0 in
+  fun () ->
+    let key = draw_key () in
+    let op =
+      if Random.State.float st 1.0 < cfg.read_frac then Service.Read
+      else Service.Write (1_000_000 + !pos)
+    in
+    incr pos;
+    (key, op)
+
 (* The open-coded op stream the closed-loop generator would issue:
-   (key, op) pairs in issue order, drawn from the same seeded RNG in
-   the same order (key, then coin), with the same unique write values.
-   The shard-per-domain data plane consumes this directly — its router
+   (key, op) pairs in issue order, from the same {!drawer}.  The
+   shard-per-domain data plane consumes this directly — its router
    forms batches from the stream positionally, so batch composition is
    a pure function of (config, keys) and never of domain timing. *)
 let op_stream cfg ~keys =
   if cfg.ops < 0 then invalid_arg "Loadgen.op_stream: ops < 0";
-  let st = Random.State.make [| 0x5EC; cfg.seed |] in
-  let draw_key = zipf_sampler ~n:keys ~theta:cfg.skew st in
+  let next = drawer cfg ~keys in
   let out = Array.make cfg.ops (0, Service.Read) in
   (* explicit loop: Array.init's evaluation order is unspecified and the
      RNG draws must happen in issue order *)
   for i = 0 to cfg.ops - 1 do
-    let key = draw_key () in
-    let op =
-      if Random.State.float st 1.0 < cfg.read_frac then Service.Read
-      else Service.Write (1_000_000 + i)
-    in
-    out.(i) <- (key, op)
+    out.(i) <- next ()
   done;
   out
 
@@ -93,14 +105,19 @@ type report = {
 
 type client_state = Free | Hold of int * Service.op | Inflight
 
-let run svc cfg =
+let run ?(on_issue = fun (_ : int * Service.op) -> ()) svc cfg =
   if cfg.clients < 1 then invalid_arg "Loadgen.run: clients < 1";
   if cfg.ops < 0 then invalid_arg "Loadgen.run: ops < 0";
   let scfg = Service.config svc in
   let pm = Service.pm svc in
-  let st = Random.State.make [| 0x5EC; cfg.seed |] in
-  let draw_key = zipf_sampler ~n:scfg.Service.keys ~theta:cfg.skew st in
+  let next_op = drawer cfg ~keys:scfg.Service.keys in
   let state = Array.make cfg.clients Free in
+  (* per-client first-issue timestamp: latency is measured from the
+     moment the client first tried to submit, so time spent in [Hold]
+     after an admission shed shows up in the histogram (measuring from
+     the eventually-accepted [c_enq_ns] hides exactly the overload
+     queueing the histogram exists to expose) *)
+  let issue_ns = Array.make cfg.clients 0.0 in
   let lat = Hist.create () in
   let issued = ref 0 in
   let completed = ref 0 in
@@ -109,25 +126,25 @@ let run svc cfg =
   let retries = ref 0 in
   (* measure from here: pool setup and adoption are excluded *)
   let before = Stats.copy (Pmem.stats pm) in
+  let now () = (Pmem.stats pm).Stats.ns in
   let on_ack (c : Service.completion) =
-    state.(c.Service.c_client) <- Free;
     incr completed;
     (match c.Service.c_op with
-    | Service.Read -> incr reads
-    | Service.Write _ -> incr writes);
-    Hist.observe lat (int_of_float (c.Service.ack_ns -. c.Service.c_enq_ns))
+    | Service.Read | Service.Scan _ -> incr reads
+    | Service.Write _ | Service.Rmw _ -> incr writes);
+    Hist.observe lat
+      (int_of_float (c.Service.ack_ns -. issue_ns.(c.Service.c_client)));
+    state.(c.Service.c_client) <- Free
   in
   while !completed < cfg.ops do
     Array.iteri
       (fun i s ->
         match s with
         | Free when !issued < cfg.ops ->
-            let key = draw_key () in
-            let op =
-              if Random.State.float st 1.0 < cfg.read_frac then Service.Read
-              else Service.Write (1_000_000 + !issued)
-            in
+            let (key, op) as drawn = next_op () in
+            on_issue drawn;
             incr issued;
+            issue_ns.(i) <- now ();
             state.(i) <- Hold (key, op)
         | _ -> ())
       state;

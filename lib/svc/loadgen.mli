@@ -4,10 +4,11 @@
     outstanding: generate (Zipf-skewed key, read/write coin), submit,
     wait for the acknowledgement, repeat — a client whose request was
     shed holds it and retries after the next drain.  Per-op latency
-    (admission to fence retirement, simulated ns) feeds
-    {!Specpmt_obs.Hist}; the report carries p50/p90/p99 and throughput
-    per shard.  Every write carries a unique value so crash audits can
-    attribute cell states to the op that produced them. *)
+    ({e first submit attempt} to fence retirement, simulated ns — so
+    time held after a shed counts) feeds {!Specpmt_obs.Hist}; the
+    report carries p50/p90/p99 and throughput per shard.  Every write
+    carries a unique value so crash audits can attribute cell states to
+    the op that produced them. *)
 
 type config = {
   clients : int;
@@ -21,12 +22,19 @@ val zipf_sampler : n:int -> theta:float -> Random.State.t -> unit -> int
 (** Inverse-CDF Zipf over [0, n) (uniform when [theta <= 0]); the
     cumulative table is built once, each draw is O(log n). *)
 
+val drawer : config -> keys:int -> unit -> int * Service.op
+(** The seeded (key, op) drawer both {!op_stream} and {!run} call: key
+    draw, then mix coin, then a unique write value keyed on the draw's
+    position.  Each call to [drawer] restarts the sequence from the
+    config's seed; successive calls to the returned closure advance
+    it. *)
+
 val op_stream : config -> keys:int -> (int * Service.op) array
 (** The deterministic (key, op) stream of this config in issue order —
-    same RNG, same draw order, same unique write values as {!run}'s
-    clients would issue.  The data plane's router consumes this
-    positionally, which is what makes its batch composition (and hence
-    its invariant report) independent of domain count and timing. *)
+    the same {!drawer} sequence {!run}'s clients issue.  The data
+    plane's router consumes this positionally, which is what makes its
+    batch composition (and hence its invariant report) independent of
+    domain count and timing. *)
 
 type shard_report = {
   sh_id : int;
@@ -57,10 +65,15 @@ type report = {
   shards : shard_report list;
 }
 
-val run : Service.t -> config -> report
+val run :
+  ?on_issue:(int * Service.op -> unit) -> Service.t -> config -> report
 (** Drive the service to [ops] completed operations.  Measurement
     starts at the call (service setup/adoption excluded); also sets the
-    [svc.fences_per_txn] gauge. *)
+    [svc.fences_per_txn] gauge.  Per-op latency is measured from the
+    client's {e first} submit attempt, so time spent holding a shed
+    request is charged to the op that suffered it.  [on_issue] fires
+    once per op at draw time, in issue order — the hook the
+    stream-equals-run regression pins {!drawer} sharing with. *)
 
 val report_to_json : report -> Specpmt_obs.Json.t
 (** One object: config echo, totals, fences/write, global latency

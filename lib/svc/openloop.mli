@@ -1,0 +1,148 @@
+(** Deterministic open-loop load: scheduled arrivals, coordinated-
+    omission-safe latency, goodput vs offered load, and recovery under
+    load.
+
+    {b Why open-loop.}  A closed-loop generator ({!Loadgen}) slows its
+    own offered load down the moment the service saturates — each
+    client waits for its ack before issuing again — so it structurally
+    cannot show queueing collapse.  Here ops {e arrive} on a
+    precomputed schedule whether or not the service has kept up;
+    arrivals the service cannot admit pile into a per-shard backlog,
+    and the gap between offered load and {e goodput} (acks per second
+    of virtual time) is the overload signal.
+
+    {b Determinism.}  The schedule is a seeded pure function, and the
+    driver's clock is the device model's simulated ns plus an idle-jump
+    offset (waiting for the next arrival costs no device time).
+    Nothing reads the host clock, so a report is a pure function of
+    (stream, config, service config): byte-identical across [--jobs],
+    domain placement and host load.
+
+    {b Coordinated omission.}  Latency is measured from each op's
+    {e scheduled arrival} to its ack.  Ops held in the backlog after an
+    admission shed keep accruing latency the whole time; nothing is
+    re-timed from its eventually-successful submit. *)
+
+type arrivals =
+  | Poisson  (** exponential inter-arrival gaps *)
+  | Burst of { on_ns : float; off_ns : float }
+      (** on/off (bursty) arrivals: Poisson inside [on_ns] windows —
+          intensified so the long-run mean stays [rate] — and silent
+          for [off_ns] between them *)
+
+type config = {
+  rate : float;
+      (** mean offered arrival rate, ops per second of simulated time;
+          [<= 0] is the saturation probe (every op due at t = 0) *)
+  arrivals : arrivals;
+  seed : int;
+}
+
+val arrivals_to_string : arrivals -> string
+(** ["poisson"] or ["burst:ON_MS:OFF_MS"]. *)
+
+val arrivals_of_string : string -> (arrivals, string) result
+(** Parses ["poisson"], ["burst"] (default 0.2 ms / 0.2 ms windows) or
+    ["burst:ON_MS:OFF_MS"] (window lengths in milliseconds). *)
+
+val schedule : config -> n:int -> float array
+(** The first [n] arrival times (simulated ns, non-decreasing) of this
+    config — a seeded pure function.  All zeros when [rate <= 0]. *)
+
+type shard_summary = {
+  os_shard : int;
+  os_ops : int;  (** acknowledged ops *)
+  os_rejected : int;  (** admission sheds *)
+  os_batches : int;
+  os_sealed : int;
+  os_max_inflight : int;
+}
+
+type report = {
+  o_config : config;
+  svc_config : Service.config;
+  ops : int;  (** stream length; every op completes before return *)
+  reads : int;
+  writes : int;
+  rmws : int;
+  scans : int;
+  attempts : int;  (** submit attempts, including re-offers after sheds *)
+  rejects : int;  (** admission sheds suffered by backlog heads *)
+  max_backlog : int;  (** high-water mark of arrived-but-unadmitted ops *)
+  last_arrival_ns : float;  (** when the schedule's final op arrived *)
+  span_ns : float;  (** virtual time from start to the last ack *)
+  offered_ops_per_sec : float;
+      (** [ops / last_arrival]; for the saturation probe (all arrivals
+          at t = 0) it equals the goodput, i.e. the measured capacity *)
+  goodput_ops_per_sec : float;  (** completed acks per virtual second *)
+  fences : int;
+  fences_per_op : float;
+  latency : Specpmt_obs.Hist.snapshot;
+      (** scheduled-arrival -> ack, simulated ns (CO-safe) *)
+  o_shards : shard_summary list;
+}
+
+val run : Service.t -> config -> (int * Service.op) array -> report
+(** Drive the whole stream through the service open-loop and return
+    when every op has been acknowledged.  Stream indices ride the
+    completion's [c_client] field, so streams must be consumed by a
+    fresh {!Service.t} per run.  Bumps [svc.openloop.arrivals] /
+    [svc.openloop.rejects] counters, the [svc.openloop.max_backlog] /
+    [svc.openloop.goodput_per_sec] gauges and the
+    [svc.openloop.latency_ns] registry histogram.  Raises
+    [Invalid_argument] on an empty stream. *)
+
+val report_to_json : report -> Specpmt_obs.Json.t
+(** One flat object — every field deterministic (no wall clock):
+    config echo, op-kind counts, attempts/rejects/max_backlog,
+    span/offered/goodput, fences and the CO-safe latency histogram,
+    plus a [per_shard] list. *)
+
+val pp : Format.formatter -> report -> unit
+(** Human-readable summary (the [ycsb] CLI output). *)
+
+(** {1 Recovery under load}
+
+    Kill the {!Dataplane} mid-traffic at a deterministic batch fuse,
+    crash, recover, and resume under the arrival backlog. *)
+
+type recovery_report = {
+  rv_fuse : int;  (** the batch fuse the run halted at *)
+  rv_halted : bool;  (** false if the stream ran out before the fuse *)
+  rv_recover_ns : float;  (** simulated device time of recovery *)
+  rv_audit_failures : int;  (** cells violating acked-durable/unacked-invisible *)
+  rv_acked_before : int;  (** acks drained before the crash (timing-dependent) *)
+  rv_backlog : int;  (** unacked ops resubmitted after recovery *)
+  rv_resumed : int;  (** ops acknowledged by the resumed run *)
+  rv_recover_wall_s : float;
+  rv_first_ack_wall_s : float;  (** resume start -> first ack (wall) *)
+  rv_rto_wall_s : float;
+      (** RTO: restart -> first post-restart ack = recover wall time +
+          first-ack wall time *)
+  rv_total_wall_s : float;
+}
+
+val recovery_under_load :
+  ?params:Specpmt_backends.Spec_soft.params ->
+  Specpmt_pmalloc.Heap.t ->
+  Dataplane.config ->
+  (int * Service.op) array ->
+  fuse_batches:int ->
+  recovery_report
+(** Build a {!Dataplane} on the heap, run the stream with
+    [halt_after_batches = fuse_batches] (the one-line reproducible
+    fuse), {!Dataplane.crash}, {!Dataplane.recover}, audit every cell
+    (last acked value, or initial if never acked, or a later write
+    sealed in a batch whose ack never drained), then resume with the
+    unacknowledged suffix as the arrival backlog and time the first
+    post-restart ack.  Streams must be read/write only — the audit
+    attributes cell states to unique write values, so [Rmw]/[Scan]
+    streams raise [Invalid_argument]. *)
+
+val recovery_to_json : recovery_report -> Specpmt_obs.Json.t
+(** Two sections: [invariant] (fuse, halted flag, simulated recovery
+    ns, audit failures — byte-identical across [--jobs] and repeat
+    runs) and [measured] (ack/backlog split and wall-clock RTO, which
+    depend on router/worker timing). *)
+
+val pp_recovery : Format.formatter -> recovery_report -> unit

@@ -1,0 +1,79 @@
+(** YCSB A–F workload scenarios: mix fractions, key distributions and
+    deterministic op streams.
+
+    The six standard core workloads, expressed over {!Service.op}:
+
+    - {b A} — update heavy: 50% read / 50% update, Zipf keys.
+    - {b B} — read mostly: 95% read / 5% update, Zipf keys.
+    - {b C} — read only: 100% read, Zipf keys.
+    - {b D} — read latest: 95% read / 5% insert, "latest" keys (Zipf
+      over recency rank, newest first).
+    - {b E} — short ranges: 95% scan / 5% insert, Zipf anchor keys,
+      scan length uniform in [1, scan_max].  Scans are stubbed over the
+      point API ({!Service.op.Scan}) until [lib/pstruct] grows an
+      ordered index.
+    - {b F} — read-modify-write: 50% read / 50% {!Service.op.Rmw}
+      (a single transaction per RMW), Zipf keys.
+
+    A stream is a pure function of (spec, ops, keys, seed): one mix
+    coin and one key draw per op from a seeded RNG, updates/inserts
+    carrying unique values ([1_000_000 + i]) so crash audits can
+    attribute cell states, inserts writing a fresh key from a growing
+    frontier.  The arrays have the same type {!Loadgen.op_stream}
+    produces, so they feed {!Openloop.run} and {!Dataplane.run}
+    unchanged. *)
+
+type mix = A | B | C | D | E | F
+
+type dist =
+  | Uniform  (** uniform over the whole keyspace *)
+  | Zipf of float  (** Zipf with the given theta over key popularity *)
+  | Latest of float
+      (** Zipf with the given theta over {e recency} rank: rank 0 is
+          the most recently inserted key (YCSB's "latest") *)
+
+type spec = {
+  sc_mix : mix;
+  read : float;  (** point-read fraction *)
+  update : float;  (** blind-write fraction (existing keys) *)
+  insert : float;  (** fresh-key write fraction (advances the frontier) *)
+  rmw : float;  (** read-modify-write fraction *)
+  scan : float;  (** short-scan fraction *)
+  dist : dist;
+  scan_max : int;  (** scan lengths are uniform in [1, scan_max] *)
+}
+
+val default_theta : float
+(** 0.99 — YCSB's default Zipfian constant. *)
+
+val spec : ?theta:float -> ?scan_max:int -> mix -> spec
+(** The standard fraction vector and distribution of a mix.  [theta]
+    defaults to {!default_theta}; [scan_max] (>= 1) defaults to 16. *)
+
+val all_mixes : mix list
+(** [A; B; C; D; E; F]. *)
+
+val mix_to_string : mix -> string
+
+val mix_of_string : string -> (mix, string) result
+(** Case-insensitive ["a".."f"]. *)
+
+val dist_to_string : dist -> string
+(** ["uniform"], ["zipf:<theta>"] or ["latest:<theta>"]. *)
+
+val op_stream :
+  spec -> ops:int -> keys:int -> seed:int -> (int * Service.op) array
+(** The deterministic (key, op) stream of a spec in issue order.  The
+    insert frontier starts at [keys / 2] (so D's "latest" window is
+    populated from the first op) and wraps onto the oldest keys once
+    the keyspace is exhausted; every key is always in [0, keys). *)
+
+type tally = { t_reads : int; t_writes : int; t_rmws : int; t_scans : int }
+
+val tally : (int * Service.op) array -> tally
+(** Op-kind counts of a stream (updates and inserts both count as
+    writes — they are indistinguishable in the stream). *)
+
+val spec_to_json : spec -> Specpmt_obs.Json.t
+(** Mix name, fraction vector, distribution and scan_max — the
+    config-echo object the [ycsb] reports embed. *)

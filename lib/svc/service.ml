@@ -11,7 +11,11 @@ module Metrics = Specpmt_obs.Metrics
    (shard-of-key hashing), so shards never contend on a cell and the
    per-thread logs stay disjoint. *)
 
-type op = Read | Write of int
+type op =
+  | Read
+  | Write of int
+  | Rmw of int
+  | Scan of int
 
 type request = {
   client : int;
@@ -52,6 +56,8 @@ type t = {
   pool : Spec_mt.t;
   base : Addr.t;
   shard_tbl : shard array;
+  owned : int array array;  (* shard -> its keys, ascending *)
+  rank : int array;  (* key -> position in its shard's [owned] row *)
 }
 
 (* Multiplicative hash (Knuth's 2^32 ratio): the product is masked to
@@ -72,6 +78,17 @@ let create ?params heap cfg =
   if cfg.keys < 1 then invalid_arg "Service.create: keys < 1";
   let pool = Spec_mt.create ?params heap ~threads:cfg.shards in
   let base = Heap.alloc heap (cfg.keys * 8) in
+  (* per-shard ownership tables, built once: ascending owned-key rows
+     and each key's rank within its row — the shard-local ordered view
+     that adoption iterates and [Scan] walks *)
+  let owned_rev = Array.make cfg.shards [] in
+  for k = cfg.keys - 1 downto 0 do
+    let s = route ~shards:cfg.shards k in
+    owned_rev.(s) <- k :: owned_rev.(s)
+  done;
+  let owned = Array.map Array.of_list owned_rev in
+  let rank = Array.make cfg.keys 0 in
+  Array.iter (fun row -> Array.iteri (fun i k -> rank.(k) <- i) row) owned;
   let t =
     {
       pm = Heap.pmem heap;
@@ -79,6 +96,8 @@ let create ?params heap cfg =
       cfg;
       pool;
       base;
+      owned;
+      rank;
       shard_tbl =
         Array.init cfg.shards (fun id ->
             {
@@ -100,15 +119,12 @@ let create ?params heap cfg =
      would leave a torn value recovery cannot revert. *)
   Array.iter
     (fun s ->
-      let owned = ref [] in
-      for k = cfg.keys - 1 downto 0 do
-        if shard_of_key t k = s.id then owned := k :: !owned
-      done;
-      match !owned with
-      | [] -> ()
+      match t.owned.(s.id) with
+      | [||] -> ()
       | owned ->
           (Spec_mt.thread pool s.id).Specpmt_txn.Ctx.run_tx (fun ctx ->
-              List.iter (fun k -> ctx.Specpmt_txn.Ctx.write (key_addr t k) 0)
+              Array.iter
+                (fun k -> ctx.Specpmt_txn.Ctx.write (key_addr t k) 0)
                 owned))
     t.shard_tbl;
   t
@@ -119,6 +135,9 @@ let now t = (Pmem.stats t.pm).Stats.ns
 
 let submit t ~client ~key op =
   if key < 0 || key >= t.cfg.keys then invalid_arg "Service.submit: bad key";
+  (match op with
+  | Scan len when len < 1 -> invalid_arg "Service.submit: scan length < 1"
+  | _ -> ());
   let s = t.shard_tbl.(shard_of_key t key) in
   let v = Admission.offer s.adm { client; key; op; enq_ns = now t } in
   (match v with
@@ -139,18 +158,42 @@ let exec_batch t s reqs =
       let results = Array.make n 0 in
       (* one closure for the whole batch, fed per-op state through the
          captured cells — the serial twin of the dataplane worker loop *)
-      let cur_addr = ref 0 and cur_op = ref Read and cur_i = ref 0 in
+      let cur_key = ref 0 and cur_op = ref Read and cur_i = ref 0 in
       let job ctx =
         match !cur_op with
         | Write v ->
-            ctx.Specpmt_txn.Ctx.write !cur_addr v;
+            ctx.Specpmt_txn.Ctx.write (key_addr t !cur_key) v;
             results.(!cur_i) <- v
-        | Read -> results.(!cur_i) <- ctx.Specpmt_txn.Ctx.read !cur_addr
+        | Read ->
+            results.(!cur_i) <- ctx.Specpmt_txn.Ctx.read (key_addr t !cur_key)
+        | Rmw d ->
+            (* read-modify-write as ONE transaction: read and dependent
+               write under the same speculative record *)
+            let a = key_addr t !cur_key in
+            let v = ctx.Specpmt_txn.Ctx.read a + d in
+            ctx.Specpmt_txn.Ctx.write a v;
+            results.(!cur_i) <- v
+        | Scan len ->
+            (* short scan stubbed over the point API: walk up to [len]
+               owned keys of this shard in key order starting at the
+               anchor's rank (shard-local, so cell ownership — and the
+               data plane's line-disjointness — is preserved); the
+               result is a sum checksum over the cells read *)
+            let row = t.owned.(s.id) in
+            let start = t.rank.(!cur_key) in
+            let stop = min (Array.length row) (start + len) in
+            let sum = ref 0 in
+            for j = start to stop - 1 do
+              sum :=
+                (!sum + ctx.Specpmt_txn.Ctx.read (key_addr t row.(j)))
+                land max_int
+            done;
+            results.(!cur_i) <- !sum
       in
       Group_commit.batch_begin s.gc;
       List.iteri
         (fun i r ->
-          cur_addr := key_addr t r.key;
+          cur_key := r.key;
           cur_op := r.op;
           cur_i := i;
           Group_commit.exec s.gc job)
@@ -237,6 +280,10 @@ let shard_stats t i =
     s_sealed = Group_commit.sealed_records s.gc;
     s_latency = Specpmt_obs.Hist.snapshot s.lat;
   }
+
+let owned_keys t i =
+  if i < 0 || i >= t.cfg.shards then invalid_arg "Service.owned_keys: bad shard";
+  Array.copy t.owned.(i)
 
 let rejected t =
   Array.fold_left (fun n s -> n + Admission.rejected s.adm) 0 t.shard_tbl

@@ -20,7 +20,21 @@
 open Specpmt_pmalloc
 open Specpmt_backends
 
-type op = Read | Write of int
+type op =
+  | Read  (** point read of the key's cell *)
+  | Write of int  (** blind write (YCSB update/insert) *)
+  | Rmw of int
+      (** read-modify-write as a {e single} transaction: read the cell,
+          add the delta, write it back under the same speculative record
+          (YCSB-F's workhorse); the completion value is the new cell
+          value *)
+  | Scan of int
+      (** short scan of up to [len >= 1] keys, stubbed over the point
+          API until [lib/pstruct] grows an ordered index: walks the
+          anchor key's shard-local owned-key row in ascending key order
+          (never crossing a shard, so cell ownership and the data
+          plane's line-disjointness hold); the completion value is a sum
+          checksum over the cells read *)
 
 type request = { client : int; key : int; op : op; enq_ns : float }
 
@@ -53,7 +67,8 @@ val create : ?params:Spec_soft.params -> Heap.t -> config -> t
 val submit :
   t -> client:int -> key:int -> op -> Admission.verdict
 (** Route to the owning shard and admit or shed (sheds bump the
-    [svc.rejected] counter). *)
+    [svc.rejected] counter).  Raises [Invalid_argument] on an
+    out-of-range key or a [Scan] of length < 1. *)
 
 val drain : ?on_ack:(completion -> unit) -> t -> completion list
 (** Execute every admitted request: per shard, dequeue up to
@@ -101,3 +116,7 @@ val shard_stats : t -> int -> shard_stats
 
 val rejected : t -> int
 (** Total sheds across shards. *)
+
+val owned_keys : t -> int -> int array
+(** The keys shard [i] owns, in ascending order — the shard-local row
+    {!op.Scan} walks.  A fresh copy (test/audit use). *)

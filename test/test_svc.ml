@@ -200,7 +200,7 @@ let run_kill ~cfg:kill_cfg ~fuse ~persist =
         acked.(c.Service.c_key) <- v;
         pending.(c.Service.c_key) <-
           List.filter (fun v' -> v' <> v) pending.(c.Service.c_key)
-    | Service.Read -> ()
+    | Service.Read | Service.Rmw _ | Service.Scan _ -> ()
   in
   (match fuse with
   | Some f ->
@@ -438,7 +438,7 @@ let test_dataplane_crash_audit () =
     | k, Service.Write v ->
         last_acked.(k) <- Some v;
         last_acked_idx.(k) <- idx
-    | _, Service.Read -> ()
+    | _, (Service.Read | Service.Rmw _ | Service.Scan _) -> ()
   in
   let r = Dataplane.run ~halt_after_batches:40 ~on_ack plane stream in
   Alcotest.(check bool) "run halted" true r.Dataplane.halted;
