@@ -17,6 +17,14 @@ let hashlog_table = 15
 let hashlog_committed_ts = 16
 let hashlog_capacity = 17
 
+(* The service layer's ordered-index directory: one cell pointing at a
+   block of [shards; keys; order; header_0; ...; header_{n-1}] tree
+   header addresses, written raw (store + flush + fence) at service
+   creation and re-read by recovery to rediscover every shard's tree.
+   Shares root-area line 3 (slots 16-23) with the hashlog slots, which
+   is safe: both are published from the parent/router domain only. *)
+let svc_index = 18
+
 (* Per-thread speculative log heads for the multi-threaded runtime: one
    root slot per thread, strided one cache line (8 slots) apart.  Heads
    are published (store + clwb + fence) from the thread's owning domain;

@@ -14,6 +14,11 @@ val hashlog_table : int
 val hashlog_committed_ts : int
 val hashlog_capacity : int
 
+val svc_index : int
+(** The service layer's ordered-index directory pointer: the root slot
+    recovery reads to rediscover the per-shard [Pbtree] headers (see
+    [Svc.Oindex]). *)
+
 val spec_mt_first : int
 (** First root slot of the per-thread speculative log heads. *)
 

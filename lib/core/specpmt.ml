@@ -21,6 +21,8 @@
     - {!Ctx}: the transactional interface every scheme implements,
     - {!Schemes}: software schemes (PMDK, Kamino-Tx, SPHT, SpecSPMT...),
     - {!Hw_schemes}: simulated-hardware schemes (EDE, HOOP, SpecHPMT...),
+    - {!Pstruct}: the persistent data structures (ordered Pbtree index,
+      treap, hash table, vector...),
     - {!Workload}: the STAMP port,
     - {!Run}: the measurement harness behind all figures,
     - {!Crashmc}: the deterministic crash-state exploration engine,
@@ -45,6 +47,7 @@ module Hw_schemes = Specpmt_hwtxn.Hw_registry
 module Spec_hw = Specpmt_hwtxn.Spec_hw
 module Epoch_protocol = Specpmt_hwtxn.Epoch_protocol
 module Hwconfig = Specpmt_hwsim.Hwconfig
+module Pstruct = Specpmt_pstruct
 module Workload = Specpmt_stamp.Workload
 module Profile = Specpmt_stamp.Profile
 module Crashmc = Specpmt_crashmc.Crashmc

@@ -3,6 +3,7 @@ open Specpmt_pmalloc
 open Specpmt_txn
 open Specpmt_backends
 module Hw = Specpmt_hwtxn
+module Pbtree = Specpmt_pstruct.Pbtree
 module Obs = Specpmt_obs
 module Json = Specpmt_obs.Json
 module Par = Specpmt_par.Par
@@ -118,12 +119,41 @@ type instance = {
          [committed + 1] — unsealed transactions returned from [run_tx]
          without being durable yet.  [None] for per-transaction-fence
          targets, where [committed] is the floor. *)
+  exec : (Ctx.ctx -> int -> int -> unit) option;
+      (* how one program op [(c, v)] executes inside its transaction.
+         [None] = the flat cell table ([ctx.write (base + 8c) v]);
+         structure targets substitute their own transition (the btree
+         target maps [(c, 0)] to a removal, anything else to an
+         insert).  The reference model is shared either way: cell [c]
+         holds [v] after the op, with 0 meaning absent. *)
+  read_state : (unit -> int array) option;
+      (* how the recovered state is read back after [recover].  [None]
+         = peek the flat cell table; structure targets rediscover their
+         structure from persistent roots, validate its invariants (any
+         exception is recorded as an audit failure) and fold it into
+         the reference's cell-array shape. *)
 }
 
-type target = { t_name : string; make : Heap.t -> total_txs:int -> instance }
+type target = {
+  t_name : string;
+  make : Heap.t -> cells:int -> total_txs:int -> instance;
+  t_program :
+    (cells:int -> txs:int -> max_writes:int -> seed:int ->
+     (int * int) list list)
+    option;
+      (* workload generator override; [None] = [gen_program] (adoption
+         tx + random writes).  Structure targets substitute a program
+         whose op mix provably exercises their structural transitions. *)
+}
 
 let of_backend (b : Ctx.backend) =
-  { run_tx = (fun _ f -> b.Ctx.run_tx f); recover = b.Ctx.recover; acked = None }
+  {
+    run_tx = (fun _ f -> b.Ctx.run_tx f);
+    recover = b.Ctx.recover;
+    acked = None;
+    exec = None;
+    read_state = None;
+  }
 
 (* Small log geometry for the SpecPMT variants: with the default 4 KiB
    blocks and 1 MiB threshold, a workload small enough to explore
@@ -149,8 +179,9 @@ let sw_target k =
   {
     t_name = Registry.name k;
     make =
-      (fun heap ~total_txs:_ ->
+      (fun heap ~cells:_ ~total_txs:_ ->
         of_backend (Registry.create ?spec_params heap k));
+    t_program = None;
   }
 
 (* Differential oracle: the same workload audited under the legacy
@@ -159,8 +190,9 @@ let sw_target k =
 let replay_target =
   {
     t_name = "SpecSPMT-replay";
+    t_program = None;
     make =
-      (fun heap ~total_txs:_ ->
+      (fun heap ~cells:_ ~total_txs:_ ->
         of_backend
           (fst
              (Spec_soft.create heap
@@ -176,8 +208,9 @@ let replay_target =
 let adaptive_target =
   {
     t_name = "SpecSPMT-adaptive";
+    t_program = None;
     make =
-      (fun heap ~total_txs:_ ->
+      (fun heap ~cells:_ ~total_txs:_ ->
         of_backend
           (fst
              (Spec_soft.create heap
@@ -196,8 +229,9 @@ let adaptive_target =
 let mt_target =
   {
     t_name = "SpecSPMT-MT";
+    t_program = None;
     make =
-      (fun heap ~total_txs:_ ->
+      (fun heap ~cells:_ ~total_txs:_ ->
         let mt =
           Spec_mt.create ~params:(mc_params ~data_persist:false) heap ~threads:3
         in
@@ -206,6 +240,8 @@ let mt_target =
             (fun i f -> (Spec_mt.thread mt (i mod Spec_mt.threads mt)).Ctx.run_tx f);
           recover = (fun () -> Spec_mt.recover mt);
           acked = None;
+          exec = None;
+          read_state = None;
         });
   }
 
@@ -222,8 +258,9 @@ let batched_target =
   let batch_max = 3 in
   {
     t_name = "SpecSPMT-batched";
+    t_program = None;
     make =
-      (fun heap ~total_txs ->
+      (fun heap ~cells:_ ~total_txs ->
         let b, rt = Spec_soft.create heap (mc_params ~data_persist:false) in
         let acked = ref 0 and open_txs = ref 0 in
         {
@@ -245,6 +282,8 @@ let batched_target =
               b.Ctx.recover ();
               open_txs := 0);
           acked = Some (fun () -> !acked);
+          exec = None;
+          read_state = None;
         });
   }
 
@@ -256,8 +295,9 @@ let batched_target =
 let switch_target =
   {
     t_name = "SpecSPMT+switch";
+    t_program = None;
     make =
-      (fun heap ~total_txs ->
+      (fun heap ~cells:_ ~total_txs ->
         let spec_b, spec_rt =
           Spec_soft.create heap (mc_params ~data_persist:false)
         in
@@ -283,13 +323,118 @@ let switch_target =
               spec_b.Ctx.recover ();
               pmdk.Ctx.recover ());
           acked = None;
+          exec = None;
+          read_state = None;
         });
   }
+
+(* Composite structure target: the workload drives a persistent B-link
+   tree (Pbtree, order 4 — small enough that a couple dozen keys force
+   every structural transition) instead of the flat cell table.  An op
+   [(c, 0)] is a removal, anything else an insert/overwrite, so the
+   shared array reference model still applies with 0 meaning absent.
+   The recovered state is read back by rediscovering the tree from its
+   header through an unmetered peek context, structurally validating it
+   ([Pbtree.check] — a violation is an audit failure, not a harness
+   crash) and folding the live bindings into the reference's cell-array
+   shape.  Every crash point therefore audits BOTH atomic durability of
+   the mapping and structural integrity of the recovered tree: splits,
+   merges and root moves must be transactionally invisible. *)
+let btree_order = 4
+
+(* Three phases, [1 + txs] transactions like [gen_program]'s shape:
+   tx 0 bulk-inserts every cell ascending (the adoption analogue —
+   it alone drives leaf splits, internal splits and root growth at
+   order 4); then [ceil(2/3 txs)] random mixed transactions (~1/4
+   removals) churn the interior; then the remaining transactions remove
+   ascending slices covering the whole keyspace, forcing borrows,
+   merges and root collapse back to a single leaf. *)
+let btree_program ~cells ~txs ~max_writes ~seed =
+  let rand = Random.State.make [| 0xB7EE; seed |] in
+  let grow_txs = max 1 (((2 * txs) + 2) / 3) in
+  let shrink_txs = txs - grow_txs in
+  let bulk = List.init cells (fun c -> (c, 1 + (c * 7))) in
+  let churn =
+    List.init (grow_txs - 1) (fun _ ->
+        let n = 1 + Random.State.int rand max_writes in
+        List.init n (fun _ ->
+            let c = Random.State.int rand cells in
+            if Random.State.int rand 4 = 0 then (c, 0)
+            else (c, 1 + Random.State.int rand 1_000_000)))
+  in
+  let shrink =
+    if shrink_txs < 1 then []
+    else
+      let per = (cells + shrink_txs - 1) / shrink_txs in
+      List.init shrink_txs (fun i ->
+          let lo = i * per and hi = min cells ((i + 1) * per) in
+          if lo >= hi then [] else List.init (hi - lo) (fun j -> (lo + j, 0)))
+  in
+  (bulk :: churn) @ shrink
+
+let btree_target =
+  {
+    t_name = "SpecSPMT-btree";
+    t_program = Some btree_program;
+    make =
+      (fun heap ~cells ~total_txs:_ ->
+        let b, _rt = Spec_soft.create heap (mc_params ~data_persist:false) in
+        (* the tree is created before the fuse arms (make runs pre-
+           workload), so its header cell is durably reachable at every
+           explored crash point *)
+        let tree =
+          b.Ctx.run_tx (fun ctx -> Pbtree.create ~order:btree_order ctx ())
+        in
+        let pm = Heap.pmem heap in
+        {
+          run_tx = (fun _ f -> b.Ctx.run_tx f);
+          recover = b.Ctx.recover;
+          acked = None;
+          exec =
+            Some
+              (fun ctx c v ->
+                if v = 0 then ignore (Pbtree.remove ctx tree c)
+                else Pbtree.insert ctx tree c v);
+          read_state =
+            Some
+              (fun () ->
+                let ctx = Ctx.peek_ctx pm in
+                let t = Pbtree.of_header ctx (Pbtree.header tree) in
+                Pbtree.check ctx t;
+                let got = Array.make cells 0 in
+                Pbtree.iter ctx t (fun k v -> got.(k) <- v);
+                got);
+        });
+  }
+
+(* Structural-coverage probe for the btree program: run it uninterrupted
+   on a fresh device and return the tree's transition counters, so a
+   test can assert the explored workload actually reaches leaf splits,
+   internal splits, merges and root growth/collapse. *)
+let btree_coverage ?(cells = 24) ?(txs = 12) ?(max_writes = 6) ~seed () =
+  let heap = Heap.create (Pmem.create ~seed Config.small) in
+  let b, _rt = Spec_soft.create heap (mc_params ~data_persist:false) in
+  let tree =
+    b.Ctx.run_tx (fun ctx -> Pbtree.create ~order:btree_order ctx ())
+  in
+  List.iter
+    (fun tx ->
+      b.Ctx.run_tx (fun ctx ->
+          List.iter
+            (fun (c, v) ->
+              if v = 0 then ignore (Pbtree.remove ctx tree c)
+              else Pbtree.insert ctx tree c v)
+            tx))
+    (btree_program ~cells ~txs ~max_writes ~seed);
+  Pbtree.stats tree
 
 let hw_target k =
   {
     t_name = Hw.Hw_registry.name k;
-    make = (fun heap ~total_txs:_ -> of_backend (Hw.Hw_registry.create heap k));
+    make =
+      (fun heap ~cells:_ ~total_txs:_ ->
+        of_backend (Hw.Hw_registry.create heap k));
+    t_program = None;
   }
 
 (* Recoverability is a property of the built backend, so probe each kind
@@ -313,7 +458,7 @@ let recoverable_hw =
 let targets () =
   List.map sw_target (Lazy.force recoverable_sw)
   @ [ replay_target; adaptive_target; mt_target; switch_target;
-      batched_target ]
+      batched_target; btree_target ]
   @ List.map hw_target (Lazy.force recoverable_hw)
 
 let target_names () = List.map (fun t -> t.t_name) (targets ())
@@ -352,19 +497,24 @@ let reference ~cells program =
 let build tgt ~seed ~cells ~total_txs =
   let pm = Pmem.create ~seed Config.small in
   let heap = Heap.create pm in
-  let inst = tgt.make heap ~total_txs in
+  let inst = tgt.make heap ~cells ~total_txs in
   let base = Heap.alloc heap (cells * 8) in
   (pm, inst, base)
 
 let run_workload pm inst ~base program ~fuse =
   Pmem.set_fuse pm fuse;
+  let exec =
+    match inst.exec with
+    | Some f -> f
+    | None -> fun ctx c v -> ctx.Ctx.write (base + (c * 8)) v
+  in
   let committed = ref 0 in
   let crashed =
     try
       List.iteri
         (fun i tx ->
           inst.run_tx i (fun ctx ->
-              List.iter (fun (c, v) -> ctx.Ctx.write (base + (c * 8)) v) tx);
+              List.iter (fun (c, v) -> exec ctx c v) tx);
           incr committed)
         program;
       Pmem.set_fuse pm None;
@@ -372,6 +522,14 @@ let run_workload pm inst ~base program ~fuse =
     with Pmem.Crash -> true
   in
   (!committed, crashed)
+
+(* Recovered-state readback: the flat table peek, or the target's own
+   structural readback ([read_state]) when it has one. *)
+let read_back pm inst ~base ~cells =
+  match inst.read_state with
+  | Some f -> f ()
+  | None ->
+      Array.init cells (fun i -> Pmem.peek_volatile_int pm (base + (i * 8)))
 
 (* Atomic durability: the recovered cells must match the reference after
    [committed] or [committed + 1] transactions (the +1 covers a crash
@@ -417,11 +575,14 @@ let run_case tgt ~seed ~cells ~program ~states ~fuse ~choice =
     let c_dirty_words = List.length (Pmem.dirty_words pm) in
     let persist = persist_pred pm choice in
     Pmem.crash_with pm ~persist;
-    match inst.recover () with
-    | () ->
-        let got =
-          Array.init cells (fun i -> Pmem.peek_volatile_int pm (base + (i * 8)))
-        in
+    (* structural readback can itself detect corruption (a btree
+       [check] violation): fold it into the same failure shape as a
+       recovery exception *)
+    match
+      inst.recover ();
+      read_back pm inst ~base ~cells
+    with
+    | got ->
         (* the volatile ack counter survives the simulated crash — read
            it after recovery, exactly like a client that kept its own
            record of which requests were acknowledged *)
@@ -561,7 +722,8 @@ let explore ?(cells = 8) ?(txs = 6) ?(max_writes = 4) ?(budget = 2000)
      and target closure below are the read-only plan every worker domain
      shares. *)
   Obs.Trace.set_capacity 64;
-  let program = gen_program ~cells ~txs ~max_writes ~seed in
+  let gen = Option.value tgt.t_program ~default:gen_program in
+  let program = gen ~cells ~txs ~max_writes ~seed in
   let states = reference ~cells program in
   (* dry run: measure the crash-point space, check the workload itself *)
   let total_events =
@@ -573,9 +735,7 @@ let explore ?(cells = 8) ?(txs = 6) ?(max_writes = 4) ?(budget = 2000)
     if crashed || committed <> List.length program then
       Fmt.invalid_arg "crashmc: uninterrupted %s workload did not complete"
         scheme;
-    let final =
-      Array.init cells (fun i -> Pmem.peek_volatile_int pm (base + (i * 8)))
-    in
+    let final = read_back pm inst ~base ~cells in
     if final <> states.(committed) then
       Fmt.invalid_arg "crashmc: uninterrupted %s workload diverges from the \
                        reference model"
@@ -703,7 +863,8 @@ let replay ?(cells = 8) ?(txs = 6) ?(max_writes = 4) ~scheme ~seed ~fuse
     ~choice () =
   let tgt = get_target scheme in
   Obs.Trace.set_capacity 64;
-  let program = gen_program ~cells ~txs ~max_writes ~seed in
+  let gen = Option.value tgt.t_program ~default:gen_program in
+  let program = gen ~cells ~txs ~max_writes ~seed in
   let states = reference ~cells program in
   match run_case_traced tgt ~seed ~cells ~program ~states ~fuse ~choice with
   | None, _ -> Run_completed

@@ -28,7 +28,7 @@
     Failures carry the recent {!Specpmt_obs.Trace} events.
 
     Explorable schemes are every recoverable registered backend
-    (software and simulated hardware), plus five composite targets that
+    (software and simulated hardware), plus six composite targets that
     only exist here: ["SpecSPMT-replay"], the default scheme under the
     legacy replay-every-record recovery (the differential oracle for the
     coalescing recovery path); ["SpecSPMT-adaptive"], with aggressive
@@ -37,15 +37,25 @@
     runtime with per-thread logs recovered in global timestamp order
     (Section 5.2.2); ["SpecSPMT+switch"], which switches out of
     speculative logging to PMDK-style undo mid-workload (Section 4.3.1);
-    and ["SpecSPMT-batched"], the service layer's group-commit path —
+    ["SpecSPMT-batched"], the service layer's group-commit path —
     transactions commit tentative (poisoned-checksum, unfenced) records
     sealed in batches under a single fence, and the audit accepts any
     reference state between the last acknowledged (sealed) transaction
     and [committed + 1], since executed-but-unsealed transactions may
     legally vanish and a crash inside a seal commits a prefix of the
-    batch.  The SpecPMT variants run with a deliberately small log
-    geometry (256-byte blocks, 512-byte reclamation threshold) so block
-    chaining and log compaction fall inside the explored window. *)
+    batch; and ["SpecSPMT-btree"], which drives a persistent B-link tree
+    ({!Specpmt_pstruct.Pbtree}, order 4) instead of the flat cell table
+    with a three-phase program (bulk ascending insert, random
+    insert/remove churn, ascending removal of the whole keyspace —
+    provably reaching leaf splits, internal splits, borrows, merges and
+    root growth/collapse, see {!btree_coverage}): ops [(c, 0)] are
+    removals, the recovered tree is rediscovered from its header,
+    structurally validated ({!Specpmt_pstruct.Pbtree.check} — a
+    violation is an audit failure) and folded back into the cell-array
+    shape for the same atomic-durability audit.  The SpecPMT variants
+    run with a deliberately small log geometry (256-byte blocks,
+    512-byte reclamation threshold) so block chaining and log compaction
+    fall inside the explored window. *)
 
 (** {1 Persist choices} *)
 
@@ -83,6 +93,20 @@ val policies_of_string : string -> (policy list, string) result
 
 val target_names : unit -> string list
 (** Explorable scheme names, in registry order then the composites. *)
+
+val btree_coverage :
+  ?cells:int ->
+  ?txs:int ->
+  ?max_writes:int ->
+  seed:int ->
+  unit ->
+  Specpmt_pstruct.Pbtree.stats
+(** Run the ["SpecSPMT-btree"] workload uninterrupted on a fresh device
+    and return the tree's structural-transition counters — the proof
+    obligation that an exploration with the same parameters actually
+    crosses leaf splits, internal splits, merges, borrows and root
+    growth/collapse.  Defaults match a CI-sized sweep: [cells = 24],
+    [txs = 12], [max_writes = 6]. *)
 
 (** {1 Results} *)
 

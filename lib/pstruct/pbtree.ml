@@ -1,0 +1,475 @@
+(** Persistent B-link tree.
+
+    Layout: header [order; root; count]; node [meta; high; right;
+    keys[order]; payloads[order]] with [meta = nkeys*2 + is_leaf].
+    Internal entry [i] points at the child covering keys in
+    [(keys.(i-1), keys.(i)]]; a node's [high] is its own inclusive
+    bound ([max_int] on the rightmost spine) and always equals its
+    separator in the parent, and [keys.(nkeys-1) = high] on internal
+    nodes.  Separators are {e bounds}, not live keys: a removal never
+    has to touch its ancestors' separators, only borrows and merges
+    move bounds around.
+
+    Rebalancing is preemptive (split-full / fix-minimal on the way
+    down), so a mutation's write set stays O(order · height) worst
+    case with no retro-propagation — small transactional write sets
+    are the whole point of running this over speculative logging. *)
+
+open Specpmt_pmem
+open Specpmt_txn
+
+type stats = {
+  mutable leaf_splits : int;
+  mutable internal_splits : int;
+  mutable merges : int;
+  mutable borrows : int;
+  mutable root_grows : int;
+  mutable root_shrinks : int;
+}
+
+type t = { hdr : Addr.t; order : int; st : stats }
+
+(* +inf / -inf sentinels: user keys must lie strictly between them *)
+let no_key = max_int
+
+let fresh_stats () =
+  {
+    leaf_splits = 0;
+    internal_splits = 0;
+    merges = 0;
+    borrows = 0;
+    root_grows = 0;
+    root_shrinks = 0;
+  }
+
+(* header cells *)
+let h_order h = h
+let h_root h = h + 8
+let h_count h = h + 16
+let header_bytes = 24
+
+(* node cells *)
+let n_meta n = n
+let n_high n = n + 8
+let n_right n = n + 16
+let n_key _t n i = n + 24 + (8 * i)
+let n_pay t n i = n + 24 + (8 * t.order) + (8 * i)
+let node_bytes order = 24 + (16 * order)
+
+let meta_ (ctx : Ctx.ctx) n = ctx.Ctx.read (n_meta n)
+let nkeys_of m = m lsr 1
+let leaf_of m = m land 1 = 1
+
+let set_meta (ctx : Ctx.ctx) n ~leaf ~nkeys =
+  ctx.Ctx.write (n_meta n) ((nkeys lsl 1) lor if leaf then 1 else 0)
+
+let high_ (ctx : Ctx.ctx) n = ctx.Ctx.read (n_high n)
+let right_ (ctx : Ctx.ctx) n = ctx.Ctx.read (n_right n)
+let key_ (ctx : Ctx.ctx) t n i = ctx.Ctx.read (n_key t n i)
+let pay_ (ctx : Ctx.ctx) t n i = ctx.Ctx.read (n_pay t n i)
+let root_ (ctx : Ctx.ctx) t = ctx.Ctx.read (h_root t.hdr)
+
+let new_node (ctx : Ctx.ctx) t ~leaf ~nkeys ~high ~right =
+  let n = ctx.Ctx.alloc (node_bytes t.order) in
+  set_meta ctx n ~leaf ~nkeys;
+  ctx.Ctx.write (n_high n) high;
+  ctx.Ctx.write (n_right n) right;
+  n
+
+let create ?(order = 8) (ctx : Ctx.ctx) () =
+  if order < 4 then invalid_arg "Pbtree.create: order < 4";
+  let hdr = ctx.Ctx.alloc header_bytes in
+  let t = { hdr; order; st = fresh_stats () } in
+  let root = new_node ctx t ~leaf:true ~nkeys:0 ~high:no_key ~right:0 in
+  ctx.Ctx.write (h_order hdr) order;
+  ctx.Ctx.write (h_root hdr) root;
+  ctx.Ctx.write (h_count hdr) 0;
+  t
+
+let of_header (ctx : Ctx.ctx) hdr =
+  let order = ctx.Ctx.read (h_order hdr) in
+  if order < 4 || order > 4096 then
+    Fmt.invalid_arg
+      "Pbtree.of_header: cell at %#x holds %d, not a plausible order" hdr order;
+  { hdr; order; st = fresh_stats () }
+
+let header t = t.hdr
+let order t = t.order
+let stats t = t.st
+let length (ctx : Ctx.ctx) t = ctx.Ctx.read (h_count t.hdr)
+
+(* smallest slot whose separator bounds [key]; exists because descent
+   (after the move-right step) guarantees key <= high = keys.(nkeys-1) *)
+let child_slot ctx t n ~nkeys key =
+  let i = ref 0 in
+  while !i < nkeys - 1 && key > key_ ctx t n !i do
+    incr i
+  done;
+  !i
+
+(* B-link descent: follow a right link whenever the key exceeds the
+   node's bound, otherwise descend through the separator slot *)
+let rec locate_leaf ctx t n key =
+  if right_ ctx n <> 0 && key > high_ ctx n then
+    locate_leaf ctx t (right_ ctx n) key
+  else
+    let m = meta_ ctx n in
+    if leaf_of m then n
+    else
+      locate_leaf ctx t
+        (pay_ ctx t n (child_slot ctx t n ~nkeys:(nkeys_of m) key))
+        key
+
+let find ctx t key =
+  let n = locate_leaf ctx t (root_ ctx t) key in
+  let nk = nkeys_of (meta_ ctx n) in
+  let rec scan i =
+    if i >= nk then None
+    else
+      let k = key_ ctx t n i in
+      if k = key then Some (pay_ ctx t n i)
+      else if k > key then None
+      else scan (i + 1)
+  in
+  scan 0
+
+let mem ctx t key = find ctx t key <> None
+
+(* shift entries [i..nkeys-1] one slot right (opening slot [i]) *)
+let shift_right (ctx : Ctx.ctx) t n ~nkeys i =
+  for j = nkeys - 1 downto i do
+    ctx.Ctx.write (n_key t n (j + 1)) (key_ ctx t n j);
+    ctx.Ctx.write (n_pay t n (j + 1)) (pay_ ctx t n j)
+  done
+
+(* shift entries [i+1..nkeys-1] one slot left (closing slot [i]) *)
+let shift_left (ctx : Ctx.ctx) t n ~nkeys i =
+  for j = i + 1 to nkeys - 1 do
+    ctx.Ctx.write (n_key t n (j - 1)) (key_ ctx t n j);
+    ctx.Ctx.write (n_pay t n (j - 1)) (pay_ ctx t n j)
+  done
+
+(* Split the full child at parent slot [i] (preemptive, on the insert
+   descent; the parent is never full here).  The child keeps its first
+   ceil(order/2) entries and tightens its bound to its new last key;
+   a fresh right sibling takes the rest under the old bound, linked
+   B-link style (child.right -> sibling -> old child.right) so a
+   link-walker crossing the split sees no gap.  Returns the new
+   separator so the caller can re-aim its descent. *)
+let split_child (ctx : Ctx.ctx) t parent i =
+  let c = pay_ ctx t parent i in
+  let leaf = leaf_of (meta_ ctx c) in
+  let lh = (t.order + 1) / 2 in
+  let rh = t.order - lh in
+  let r =
+    new_node ctx t ~leaf ~nkeys:rh ~high:(high_ ctx c) ~right:(right_ ctx c)
+  in
+  for j = 0 to rh - 1 do
+    ctx.Ctx.write (n_key t r j) (key_ ctx t c (lh + j));
+    ctx.Ctx.write (n_pay t r j) (pay_ ctx t c (lh + j))
+  done;
+  let sep = key_ ctx t c (lh - 1) in
+  ctx.Ctx.write (n_right c) r;
+  ctx.Ctx.write (n_high c) sep;
+  set_meta ctx c ~leaf ~nkeys:lh;
+  let pk = nkeys_of (meta_ ctx parent) in
+  let old_sep = key_ ctx t parent i in
+  shift_right ctx t parent ~nkeys:pk (i + 1);
+  ctx.Ctx.write (n_key t parent i) sep;
+  ctx.Ctx.write (n_key t parent (i + 1)) old_sep;
+  ctx.Ctx.write (n_pay t parent (i + 1)) r;
+  set_meta ctx parent ~leaf:false ~nkeys:(pk + 1);
+  if leaf then t.st.leaf_splits <- t.st.leaf_splits + 1
+  else t.st.internal_splits <- t.st.internal_splits + 1;
+  sep
+
+let insert (ctx : Ctx.ctx) t key value =
+  if key >= no_key || key <= min_int then
+    invalid_arg "Pbtree.insert: key must lie strictly between min_int and \
+                 max_int";
+  (* root growth: a full root gains a single-entry internal parent
+     under the +inf bound, then splits as an ordinary child *)
+  let root = root_ ctx t in
+  let root =
+    if nkeys_of (meta_ ctx root) = t.order then begin
+      let r = new_node ctx t ~leaf:false ~nkeys:1 ~high:no_key ~right:0 in
+      ctx.Ctx.write (n_key t r 0) no_key;
+      ctx.Ctx.write (n_pay t r 0) root;
+      ctx.Ctx.write (h_root t.hdr) r;
+      t.st.root_grows <- t.st.root_grows + 1;
+      ignore (split_child ctx t r 0);
+      r
+    end
+    else root
+  in
+  let rec go n =
+    let m = meta_ ctx n in
+    let nk = nkeys_of m in
+    if leaf_of m then begin
+      let i = ref 0 in
+      while !i < nk && key > key_ ctx t n !i do
+        incr i
+      done;
+      if !i < nk && key_ ctx t n !i = key then
+        ctx.Ctx.write (n_pay t n !i) value
+      else begin
+        shift_right ctx t n ~nkeys:nk !i;
+        ctx.Ctx.write (n_key t n !i) key;
+        ctx.Ctx.write (n_pay t n !i) value;
+        set_meta ctx n ~leaf:true ~nkeys:(nk + 1);
+        ctx.Ctx.write (h_count t.hdr) (ctx.Ctx.read (h_count t.hdr) + 1)
+      end
+    end
+    else begin
+      let i = child_slot ctx t n ~nkeys:nk key in
+      if nkeys_of (meta_ ctx (pay_ ctx t n i)) = t.order then begin
+        let sep = split_child ctx t n i in
+        go (pay_ ctx t n (if key > sep then i + 1 else i))
+      end
+      else go (pay_ ctx t n i)
+    end
+  in
+  go root
+
+(* Rebalance the minimal child at parent slot [i] (preemptive, on the
+   remove descent) so a removal below it cannot underflow; returns the
+   node to keep descending into — the left sibling when a merge folded
+   the child into it.  The parent always has >= 2 entries here: below
+   the root it was itself fixed to > order/2 entries on the way down,
+   and the root sheds single-child states eagerly (see [remove]). *)
+let fix_child (ctx : Ctx.ctx) t parent i =
+  let min_keys = t.order / 2 in
+  let pk = nkeys_of (meta_ ctx parent) in
+  let c = pay_ ctx t parent i in
+  let cm = meta_ ctx c in
+  let leaf = leaf_of cm in
+  let ck = nkeys_of cm in
+  (* move the right sibling's first entry under [c]'s (raised) bound *)
+  let borrow_right r =
+    let rk = nkeys_of (meta_ ctx r) in
+    let k0 = key_ ctx t r 0 and p0 = pay_ ctx t r 0 in
+    ctx.Ctx.write (n_key t c ck) k0;
+    ctx.Ctx.write (n_pay t c ck) p0;
+    set_meta ctx c ~leaf ~nkeys:(ck + 1);
+    shift_left ctx t r ~nkeys:rk 0;
+    set_meta ctx r ~leaf ~nkeys:(rk - 1);
+    ctx.Ctx.write (n_high c) k0;
+    ctx.Ctx.write (n_key t parent i) k0;
+    t.st.borrows <- t.st.borrows + 1;
+    c
+  in
+  (* move the left sibling's last entry to [c]'s front, lowering the
+     sibling's bound to its new last key *)
+  let borrow_left l =
+    let lk = nkeys_of (meta_ ctx l) in
+    let kl = key_ ctx t l (lk - 1) and pl = pay_ ctx t l (lk - 1) in
+    shift_right ctx t c ~nkeys:ck 0;
+    ctx.Ctx.write (n_key t c 0) kl;
+    ctx.Ctx.write (n_pay t c 0) pl;
+    set_meta ctx c ~leaf ~nkeys:(ck + 1);
+    set_meta ctx l ~leaf ~nkeys:(lk - 1);
+    let bound = key_ ctx t l (lk - 2) in
+    ctx.Ctx.write (n_high l) bound;
+    ctx.Ctx.write (n_key t parent (i - 1)) bound;
+    t.st.borrows <- t.st.borrows + 1;
+    c
+  in
+  (* fold the right child of the pair (slots [j], [j+1]) into the left
+     one: entries, bound and right link all move left, the parent drops
+     one entry, the emptied node is freed (deferred to commit) *)
+  let merge j =
+    let l = pay_ ctx t parent j in
+    let r = pay_ ctx t parent (j + 1) in
+    let lm = meta_ ctx l in
+    let lk = nkeys_of lm and rk = nkeys_of (meta_ ctx r) in
+    for x = 0 to rk - 1 do
+      ctx.Ctx.write (n_key t l (lk + x)) (key_ ctx t r x);
+      ctx.Ctx.write (n_pay t l (lk + x)) (pay_ ctx t r x)
+    done;
+    set_meta ctx l ~leaf:(leaf_of lm) ~nkeys:(lk + rk);
+    ctx.Ctx.write (n_high l) (high_ ctx r);
+    ctx.Ctx.write (n_right l) (right_ ctx r);
+    ctx.Ctx.write (n_key t parent j) (key_ ctx t parent (j + 1));
+    shift_left ctx t parent ~nkeys:pk (j + 1);
+    set_meta ctx parent ~leaf:false ~nkeys:(pk - 1);
+    ctx.Ctx.free r;
+    t.st.merges <- t.st.merges + 1;
+    l
+  in
+  if ck > min_keys then c
+  else if
+    i + 1 < pk && nkeys_of (meta_ ctx (pay_ ctx t parent (i + 1))) > min_keys
+  then borrow_right (pay_ ctx t parent (i + 1))
+  else if i > 0 && nkeys_of (meta_ ctx (pay_ ctx t parent (i - 1))) > min_keys
+  then borrow_left (pay_ ctx t parent (i - 1))
+  else if i + 1 < pk then merge i
+  else merge (i - 1)
+
+let remove (ctx : Ctx.ctx) t key =
+  let rec go n =
+    let m = meta_ ctx n in
+    let nk = nkeys_of m in
+    if leaf_of m then begin
+      let i = ref 0 in
+      while !i < nk && key > key_ ctx t n !i do
+        incr i
+      done;
+      if !i < nk && key_ ctx t n !i = key then begin
+        shift_left ctx t n ~nkeys:nk !i;
+        set_meta ctx n ~leaf:true ~nkeys:(nk - 1);
+        ctx.Ctx.write (h_count t.hdr) (ctx.Ctx.read (h_count t.hdr) - 1);
+        true
+      end
+      else false
+    end
+    else go (fix_child ctx t n (child_slot ctx t n ~nkeys:nk key))
+  in
+  let removed = go (root_ ctx t) in
+  (* eager root collapse: a single-child internal root hands its slot
+     to the child before the transaction ends, so the parent-entry
+     precondition of [fix_child] holds on every later descent *)
+  let rec collapse () =
+    let root = root_ ctx t in
+    let m = meta_ ctx root in
+    if (not (leaf_of m)) && nkeys_of m = 1 then begin
+      ctx.Ctx.write (h_root t.hdr) (pay_ ctx t root 0);
+      ctx.Ctx.free root;
+      t.st.root_shrinks <- t.st.root_shrinks + 1;
+      collapse ()
+    end
+  in
+  collapse ();
+  removed
+
+(* ---- ordered iteration: one descent, then leaf right-links ---- *)
+
+let iter_from ctx t ~lo f =
+  let n = ref (locate_leaf ctx t (root_ ctx t) lo) in
+  let continue_ = ref true in
+  while !continue_ && !n <> 0 do
+    let nk = nkeys_of (meta_ ctx !n) in
+    let i = ref 0 in
+    while !continue_ && !i < nk do
+      let k = key_ ctx t !n !i in
+      if k >= lo then continue_ := f k (pay_ ctx t !n !i);
+      incr i
+    done;
+    if !continue_ then n := right_ ctx !n
+  done
+
+let iter_range ctx t ~lo ~hi f =
+  iter_from ctx t ~lo (fun k v ->
+      k <= hi
+      && begin
+           f k v;
+           true
+         end)
+
+let range ctx t ~lo ~hi =
+  let acc = ref [] in
+  iter_range ctx t ~lo ~hi (fun k v -> acc := (k, v) :: !acc);
+  List.rev !acc
+
+let iter ctx t f =
+  iter_from ctx t ~lo:min_int (fun k v ->
+      f k v;
+      true)
+
+let fold ctx t f init =
+  let acc = ref init in
+  iter ctx t (fun k v -> acc := f k v !acc);
+  !acc
+
+let height ctx t =
+  let rec go n acc =
+    let m = meta_ ctx n in
+    if leaf_of m then acc else go (pay_ ctx t n 0) (acc + 1)
+  in
+  go (root_ ctx t) 1
+
+let node_count ctx t =
+  let internal = ref 0 and leaves = ref 0 in
+  let rec go n =
+    let m = meta_ ctx n in
+    if leaf_of m then incr leaves
+    else begin
+      incr internal;
+      for i = 0 to nkeys_of m - 1 do
+        go (pay_ ctx t n i)
+      done
+    end
+  in
+  go (root_ ctx t);
+  (!internal, !leaves)
+
+(* ---- structural audit ---- *)
+
+let fail fmt = Fmt.kstr (fun s -> failwith ("Pbtree.check: " ^ s)) fmt
+
+let check ctx t =
+  let min_keys = t.order / 2 in
+  (* nodes per depth in left-to-right walk order, for the chain audit *)
+  let levels : (int, Addr.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let leaf_depth = ref (-1) in
+  let entries = ref 0 in
+  (* subtree keys must lie in (lo, hi]; [hi] is also the separator the
+     parent holds for this node *)
+  let rec walk n ~lo ~hi ~depth ~is_root =
+    (match Hashtbl.find_opt levels depth with
+    | Some l -> l := n :: !l
+    | None -> Hashtbl.add levels depth (ref [ n ]));
+    let m = meta_ ctx n in
+    let nk = nkeys_of m in
+    let leaf = leaf_of m in
+    if high_ ctx n <> hi then
+      fail "node %#x: high %d, parent separator %d" n (high_ ctx n) hi;
+    if nk > t.order then fail "node %#x: %d keys, order %d" n nk t.order;
+    if (not is_root) && nk < min_keys then
+      fail "node %#x: %d keys, minimum %d" n nk min_keys;
+    if is_root && (not leaf) && nk < 2 then
+      fail "internal root %#x kept %d child(ren)" n nk;
+    for i = 0 to nk - 1 do
+      let k = key_ ctx t n i in
+      if i > 0 && k <= key_ ctx t n (i - 1) then
+        fail "node %#x: keys out of order at slot %d" n i;
+      if k <= lo || k > hi then
+        fail "node %#x: key %d outside bound (%d, %d]" n k lo hi
+    done;
+    if leaf then begin
+      if !leaf_depth = -1 then leaf_depth := depth
+      else if !leaf_depth <> depth then
+        fail "leaf %#x at depth %d, first leaf at %d" n depth !leaf_depth;
+      entries := !entries + nk
+    end
+    else begin
+      if nk = 0 then fail "internal node %#x is empty" n;
+      if key_ ctx t n (nk - 1) <> hi then
+        fail "internal %#x: last separator %d <> high %d" n
+          (key_ ctx t n (nk - 1))
+          hi;
+      let prev = ref lo in
+      for i = 0 to nk - 1 do
+        let sep = key_ ctx t n i in
+        walk (pay_ ctx t n i) ~lo:!prev ~hi:sep ~depth:(depth + 1)
+          ~is_root:false;
+        prev := sep
+      done
+    end
+  in
+  walk (root_ ctx t) ~lo:min_int ~hi:no_key ~depth:0 ~is_root:true;
+  (* every level's right links must chain its nodes in walk order *)
+  Hashtbl.iter
+    (fun depth l ->
+      let nodes = Array.of_list (List.rev !l) in
+      let last = Array.length nodes - 1 in
+      Array.iteri
+        (fun i n ->
+          let expect = if i = last then 0 else nodes.(i + 1) in
+          if right_ ctx n <> expect then
+            fail "node %#x (depth %d): right link %#x, expected %#x" n depth
+              (right_ ctx n) expect)
+        nodes)
+    levels;
+  let count = length ctx t in
+  if count <> !entries then
+    fail "header count %d, %d leaf entries" count !entries

@@ -1,4 +1,9 @@
-(** Persistent FIFO queue of 8-byte values. *)
+(** Persistent FIFO queue of 8-byte values.
+
+    A singly linked list of nodes with head/tail pointers in a 3-cell
+    header; every mutation is a handful of cell stores inside the
+    calling transaction, so a crash either keeps or drops the whole
+    push/pop. *)
 
 open Specpmt_pmem
 open Specpmt_txn
@@ -6,9 +11,26 @@ open Specpmt_txn
 type t
 
 val create : Ctx.ctx -> t
+(** Allocate an empty queue (its 3-cell header) in the transaction's
+    heap. *)
+
 val of_header : Addr.t -> t
+(** Reattach to an existing queue from its header address (as returned
+    by {!header}) — the rediscovery path after a crash. *)
+
 val header : t -> Addr.t
+(** The queue's header block, the one address that must be stored
+    somewhere reachable (e.g. a {!Specpmt_pmalloc.Heap.root_slot}) to
+    survive a crash. *)
+
 val size : Ctx.ctx -> t -> int
+(** Number of queued values (O(1): kept in the header). *)
+
 val is_empty : Ctx.ctx -> t -> bool
+
 val push : Ctx.ctx -> t -> int -> unit
+(** Enqueue at the tail. *)
+
 val pop : Ctx.ctx -> t -> int option
+(** Dequeue from the head; [None] when empty.  The popped node is freed
+    back to the transaction's heap. *)

@@ -3,7 +3,9 @@
     The ordered-map role of STAMP's red-black trees (vacation's tables)
     with much simpler rebalancing — and therefore smaller transactional
     write sets.  Priorities are a hash of the key, so runs are
-    deterministic. *)
+    deterministic.  For the service layer's range scans, prefer
+    {!Pbtree}: its fat nodes amortise the per-entry pointer chasing a
+    binary treap pays on ordered walks. *)
 
 open Specpmt_pmem
 open Specpmt_txn
@@ -11,10 +13,23 @@ open Specpmt_txn
 type t
 
 val create : Ctx.ctx -> t
+(** Allocate an empty treap: one root cell in the transaction's heap
+    holding the (initially null) root pointer. *)
+
 val of_root_cell : Addr.t -> t
+(** Reattach to an existing treap from its root cell (as returned by
+    {!root_cell}) — the rediscovery path after a crash. *)
+
 val root_cell : t -> Addr.t
+(** The treap's root cell, the one address that must be stored
+    somewhere reachable (e.g. a
+    {!Specpmt_pmalloc.Heap.root_slot}) to survive a crash. *)
+
 val find : Ctx.ctx -> t -> int -> int option
+(** The value bound to a key, or [None]. *)
+
 val mem : Ctx.ctx -> t -> int -> bool
+(** Whether the key is bound. *)
 
 val update : Ctx.ctx -> t -> int -> int -> bool
 (** Overwrite the value of an existing key; [false] if absent (no
@@ -24,6 +39,8 @@ val insert : Ctx.ctx -> t -> int -> int -> unit
 (** Insert or overwrite, rebalancing by rotation. *)
 
 val remove : Ctx.ctx -> t -> int -> bool
+(** Delete a key by rotating its node to a leaf; [false] if it was not
+    bound (nothing written). *)
 
 val find_ceiling : Ctx.ctx -> t -> int -> (int * int) option
 (** Smallest key [>= k] with its value. *)
@@ -32,4 +49,7 @@ val iter : Ctx.ctx -> t -> (int -> int -> unit) -> unit
 (** In increasing key order. *)
 
 val fold : Ctx.ctx -> t -> (int -> int -> 'a -> 'a) -> 'a -> 'a
+(** Fold over all bindings in increasing key order. *)
+
 val length : Ctx.ctx -> t -> int
+(** Number of bindings (walks the whole treap). *)

@@ -9,16 +9,40 @@ open Specpmt_txn
 type t
 
 val create : Ctx.ctx -> ?capacity:int -> unit -> t
+(** Allocate an empty vector with the given initial capacity (default
+    8 cells) in the transaction's heap. *)
+
 val of_header : Addr.t -> t
+(** Reattach to an existing vector from its header address (as returned
+    by {!header}) — the rediscovery path after a crash. *)
+
 val header : t -> Addr.t
+(** The vector's header block, the one address that must be stored
+    somewhere reachable (e.g. a {!Specpmt_pmalloc.Heap.root_slot}) to
+    survive a crash. *)
+
 val capacity : Ctx.ctx -> t -> int
+(** Allocated slots (grows by doubling on {!push}). *)
+
 val length : Ctx.ctx -> t -> int
+(** Live elements, [<= capacity]. *)
 
 val get : Ctx.ctx -> t -> int -> int
 (** Raises [Invalid_argument] out of bounds. *)
 
 val set : Ctx.ctx -> t -> int -> int -> unit
+(** Overwrite an existing index; raises [Invalid_argument] out of
+    bounds. *)
+
 val push : Ctx.ctx -> t -> int -> unit
+(** Append, doubling the data block first when full (old block freed,
+    contents copied — all inside the calling transaction). *)
+
 val pop : Ctx.ctx -> t -> int option
+(** Remove and return the last element; [None] when empty. *)
+
 val iter : Ctx.ctx -> t -> (int -> unit) -> unit
+(** In index order. *)
+
 val to_list : Ctx.ctx -> t -> int list
+(** The elements in index order. *)

@@ -72,7 +72,7 @@ type t = {
   addr_of_key : Addr.t array;
   owner : int array;  (* key -> shard *)
   owned_keys : int array array;  (* shard -> its keys, ascending *)
-  rank : int array;  (* key -> position in its shard's row *)
+  mutable oidx : Oindex.t;  (* per-shard ordered index; rebuilt on recover *)
   req_rings : msg Spsc.t array;  (* router -> domain *)
   ack_rings : comp Spsc.t array;  (* domain -> router *)
 }
@@ -107,15 +107,12 @@ let create ?(params = Spec_soft.default_params) t_heap cfg =
   let pm = Heap.pmem t_heap in
   let owner = Array.init cfg.keys (Service.route ~shards:cfg.shards) in
   (* per-shard ownership tables, built once: ascending owned-key rows
-     (formatting + adoption iterate them; [Scan] walks them) and each
-     key's rank within its row *)
+     (formatting + adoption iterate them) *)
   let owned_rev = Array.make cfg.shards [] in
   for k = cfg.keys - 1 downto 0 do
     owned_rev.(owner.(k)) <- k :: owned_rev.(owner.(k))
   done;
   let owned_keys = Array.map Array.of_list owned_rev in
-  let rank = Array.make cfg.keys 0 in
-  Array.iter (fun row -> Array.iteri (fun i k -> rank.(k) <- i) row) owned_keys;
   (* Parent-side formatting: per-shard line-aligned key regions (packed
      cells, so a shard's keys share lines only with each other) and
      per-shard carved log regions. *)
@@ -168,6 +165,13 @@ let create ?(params = Spec_soft.default_params) t_heap cfg =
                 (fun k -> ctx.Specpmt_txn.Ctx.write addr_of_key.(k) 0)
                 row))
     owned_keys;
+  (* The ordered index: per-shard trees allocate from the carved
+     sub-heaps through the shards' views (line-disjoint like the key
+     cells), the directory and root slot go through the parent — whose
+     cache must be detached again before any worker forks, since the
+     directory write and its heap allocation dirtied parent lines. *)
+  let oidx = Oindex.create t_heap ~pool ~shards:cfg.shards ~keys:cfg.keys in
+  Pmem.detach_cache pm;
   let spd = (cfg.shards + cfg.domains - 1) / cfg.domains in
   let ring_cap = (spd * cfg.depth) + 8 in
   {
@@ -182,7 +186,7 @@ let create ?(params = Spec_soft.default_params) t_heap cfg =
     addr_of_key;
     owner;
     owned_keys;
-    rank;
+    oidx;
     req_rings =
       Array.init cfg.domains (fun _ ->
           Spsc.create ~dummy:(Stop { detach = false }) ~capacity:ring_cap);
@@ -272,29 +276,27 @@ let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
     let job ctx =
       match !cur_op with
       | Service.Write v ->
-          ctx.Specpmt_txn.Ctx.write t.addr_of_key.(!cur_key) v;
+          let a = t.addr_of_key.(!cur_key) in
+          (* first client write indexes the key in the shard's tree —
+             same transaction, and the tree nodes live in the shard's
+             carved sub-heap, so the worker stays on its own lines *)
+          Oindex.ensure ctx t.oidx ~shard:!cur_shard ~key:!cur_key ~addr:a;
+          ctx.Specpmt_txn.Ctx.write a v;
           cur_res := v
       | Service.Read ->
           cur_res := ctx.Specpmt_txn.Ctx.read t.addr_of_key.(!cur_key)
       | Service.Rmw d ->
           (* one transaction: read + dependent write under one record *)
           let a = t.addr_of_key.(!cur_key) in
+          Oindex.ensure ctx t.oidx ~shard:!cur_shard ~key:!cur_key ~addr:a;
           let v = ctx.Specpmt_txn.Ctx.read a + d in
           ctx.Specpmt_txn.Ctx.write a v;
           cur_res := v
       | Service.Scan len ->
-          (* shard-local scan (same stub as the serial service): only
-             this shard's cells are touched, so line-disjointness holds *)
-          let row = t.owned_keys.(!cur_shard) in
-          let start = t.rank.(!cur_key) in
-          let stop = min (Array.length row) (start + len) in
-          let sum = ref 0 in
-          for j = start to stop - 1 do
-            sum :=
-              (!sum + ctx.Specpmt_txn.Ctx.read t.addr_of_key.(row.(j)))
-              land max_int
-          done;
-          cur_res := !sum
+          (* ordered scan over this shard's Pbtree (same semantics as
+             the serial service): only this shard's lines are touched *)
+          cur_res :=
+            Oindex.scan ctx t.oidx ~shard:!cur_shard ~anchor:!cur_key ~len
     in
     let running = ref true in
     while !running do
@@ -497,6 +499,10 @@ let recover t =
   let drain ring = while Spsc.try_pop ring <> None do () done in
   Array.iter drain t.ack_rings;
   Array.iter (fun r -> while Spsc.try_pop r <> None do () done) t.req_rings;
+  (* rediscover the ordered index from root slot + directory over the
+     replayed media: fresh tree handles, fresh populated bitmap (all
+     reads are unmetered peeks, so the parent cache stays clean) *)
+  t.oidx <- Oindex.recover t.heap ~shards:t.cfg.shards ~keys:t.cfg.keys;
   (* the replayed cells sit clean in the parent cache: hand them back
      to the views before the next run dirties those lines *)
   Pmem.detach_cache t.pm

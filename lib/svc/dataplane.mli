@@ -46,10 +46,13 @@ val create : ?params:Spec_soft.params -> Heap.t -> config -> t
 (** Build the plane on a freshly formatted root heap: allocates
     line-aligned per-shard key regions, carves per-shard log regions,
     detaches the parent cache, forks one view per domain, builds the
-    partitioned {!Specpmt_backends.Spec_mt} pool and runs the per-shard
-    adoption transactions.  A [Threshold] reclaim trigger is clamped to
-    a quarter of the log region so compaction keeps each shard's chain
-    inside its carved region. *)
+    partitioned {!Specpmt_backends.Spec_mt} pool, runs the per-shard
+    adoption transactions and creates the per-shard ordered index
+    ({!Oindex.create} — tree nodes in the carved sub-heaps, directory
+    under root slot {!Specpmt_backends.Slots.svc_index}).  A
+    [Threshold] reclaim trigger is clamped to a quarter of the log
+    region so compaction keeps each shard's chain inside its carved
+    region. *)
 
 type shard_report = {
   d_shard : int;
@@ -98,8 +101,11 @@ val run :
     {!Service.op.Scan} of length < 1.
 
     All four op kinds run as single transactions on the owning shard's
-    domain; {!Service.op.Scan} only ever touches cells of the anchor
-    key's shard, so the per-line ownership discipline is untouched.
+    domain; {!Service.op.Scan} walks the shard's persistent ordered
+    index ({!Oindex.scan}), whose tree nodes live in the shard's carved
+    sub-heap — scans and index maintenance only ever touch lines the
+    owning domain already holds, so the per-line ownership discipline
+    is untouched.
 
     [halt_after_batches = n] is the deterministic crash drill: the
     router stops submitting the moment the [n]-th batch has been sent
@@ -121,9 +127,10 @@ val crash : t -> unit
 val recover : t -> unit
 (** {!Specpmt_backends.Spec_mt.recover} through the parent view over
     the shared image (root heap, per-shard sub-heaps, coalesced log
-    merge, per-runtime reattach), then reset admission and batchers and
-    hand the replayed lines back to the views.  The plane serves again
-    afterwards: call {!run} with a fresh stream. *)
+    merge, per-runtime reattach), then reset admission and batchers,
+    rediscover the ordered index from its root slot ({!Oindex.recover})
+    and hand the replayed lines back to the views.  The plane serves
+    again afterwards: call {!run} with a fresh stream. *)
 
 val peek : t -> int -> int
 (** Unmetered key read through the parent — valid between runs (after a

@@ -9,9 +9,11 @@
     - {b D} — read latest: 95% read / 5% insert, "latest" keys (Zipf
       over recency rank, newest first).
     - {b E} — short ranges: 95% scan / 5% insert, Zipf anchor keys,
-      scan length uniform in [1, scan_max].  Scans are stubbed over the
-      point API ({!Service.op.Scan}) until [lib/pstruct] grows an
-      ordered index.
+      scan length uniform in [1, scan_max].  Scans ({!Service.op.Scan})
+      are served by the shard's persistent ordered index
+      ({!Specpmt_pstruct.Pbtree} via [Oindex]): an ascending walk of up
+      to [len] populated keys from the anchor, so inserts become
+      visible to later scans exactly when their write commits.
     - {b F} — read-modify-write: 50% read / 50% {!Service.op.Rmw}
       (a single transaction per RMW), Zipf keys.
 

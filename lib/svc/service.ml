@@ -57,7 +57,7 @@ type t = {
   base : Addr.t;
   shard_tbl : shard array;
   owned : int array array;  (* shard -> its keys, ascending *)
-  rank : int array;  (* key -> position in its shard's [owned] row *)
+  mutable oidx : Oindex.t;  (* per-shard ordered index; rebuilt on recover *)
 }
 
 (* Multiplicative hash (Knuth's 2^32 ratio): the product is masked to
@@ -79,55 +79,52 @@ let create ?params heap cfg =
   let pool = Spec_mt.create ?params heap ~threads:cfg.shards in
   let base = Heap.alloc heap (cfg.keys * 8) in
   (* per-shard ownership tables, built once: ascending owned-key rows
-     and each key's rank within its row — the shard-local ordered view
-     that adoption iterates and [Scan] walks *)
+     that adoption iterates *)
   let owned_rev = Array.make cfg.shards [] in
   for k = cfg.keys - 1 downto 0 do
     let s = route ~shards:cfg.shards k in
     owned_rev.(s) <- k :: owned_rev.(s)
   done;
   let owned = Array.map Array.of_list owned_rev in
-  let rank = Array.make cfg.keys 0 in
-  Array.iter (fun row -> Array.iteri (fun i k -> rank.(k) <- i) row) owned;
-  let t =
-    {
-      pm = Heap.pmem heap;
-      heap;
-      cfg;
-      pool;
-      base;
-      owned;
-      rank;
-      shard_tbl =
-        Array.init cfg.shards (fun id ->
-            {
-              id;
-              adm = Admission.create ~depth:cfg.depth;
-              gc =
-                Group_commit.create
-                  ~backend:(Spec_mt.thread pool id)
-                  ~rt:(Spec_mt.runtime pool id);
-              lat = Specpmt_obs.Hist.create ();
-              ops = 0;
-            });
-    }
-  in
   (* Adoption (Section 4.3.2): a cell must be logged once before
      speculative logging can revoke an uncommitted in-place update to
      it.  One committed transaction per shard writes 0 to every key it
      owns — without this, a crash during the first ever write to a key
-     would leave a torn value recovery cannot revert. *)
-  Array.iter
-    (fun s ->
-      match t.owned.(s.id) with
+     would leave a torn value recovery cannot revert.  Adoption does
+     NOT populate the ordered index: an unwritten key is absent from
+     scans, exactly YCSB-E's insert-frontier semantics. *)
+  Array.iteri
+    (fun id row ->
+      match row with
       | [||] -> ()
-      | owned ->
-          (Spec_mt.thread pool s.id).Specpmt_txn.Ctx.run_tx (fun ctx ->
+      | row ->
+          (Spec_mt.thread pool id).Specpmt_txn.Ctx.run_tx (fun ctx ->
               Array.iter
-                (fun k -> ctx.Specpmt_txn.Ctx.write (key_addr t k) 0)
-                owned))
-    t.shard_tbl;
-  t
+                (fun k -> ctx.Specpmt_txn.Ctx.write (base + (k * 8)) 0)
+                row))
+    owned;
+  let oidx = Oindex.create heap ~pool ~shards:cfg.shards ~keys:cfg.keys in
+  {
+    pm = Heap.pmem heap;
+    heap;
+    cfg;
+    pool;
+    base;
+    owned;
+    oidx;
+    shard_tbl =
+      Array.init cfg.shards (fun id ->
+          {
+            id;
+            adm = Admission.create ~depth:cfg.depth;
+            gc =
+              Group_commit.create
+                ~backend:(Spec_mt.thread pool id)
+                ~rt:(Spec_mt.runtime pool id);
+            lat = Specpmt_obs.Hist.create ();
+            ops = 0;
+          });
+  }
 
 let config t = t.cfg
 let pm t = t.pm
@@ -162,7 +159,11 @@ let exec_batch t s reqs =
       let job ctx =
         match !cur_op with
         | Write v ->
-            ctx.Specpmt_txn.Ctx.write (key_addr t !cur_key) v;
+            let a = key_addr t !cur_key in
+            (* first client write indexes the key, same transaction as
+               the cell store: entry and cell are atomic together *)
+            Oindex.ensure ctx t.oidx ~shard:s.id ~key:!cur_key ~addr:a;
+            ctx.Specpmt_txn.Ctx.write a v;
             results.(!cur_i) <- v
         | Read ->
             results.(!cur_i) <- ctx.Specpmt_txn.Ctx.read (key_addr t !cur_key)
@@ -170,25 +171,16 @@ let exec_batch t s reqs =
             (* read-modify-write as ONE transaction: read and dependent
                write under the same speculative record *)
             let a = key_addr t !cur_key in
+            Oindex.ensure ctx t.oidx ~shard:s.id ~key:!cur_key ~addr:a;
             let v = ctx.Specpmt_txn.Ctx.read a + d in
             ctx.Specpmt_txn.Ctx.write a v;
             results.(!cur_i) <- v
         | Scan len ->
-            (* short scan stubbed over the point API: walk up to [len]
-               owned keys of this shard in key order starting at the
-               anchor's rank (shard-local, so cell ownership — and the
-               data plane's line-disjointness — is preserved); the
-               result is a sum checksum over the cells read *)
-            let row = t.owned.(s.id) in
-            let start = t.rank.(!cur_key) in
-            let stop = min (Array.length row) (start + len) in
-            let sum = ref 0 in
-            for j = start to stop - 1 do
-              sum :=
-                (!sum + ctx.Specpmt_txn.Ctx.read (key_addr t row.(j)))
-                land max_int
-            done;
-            results.(!cur_i) <- !sum
+            (* real ordered scan over the shard's Pbtree: up to [len]
+               populated keys from the anchor, checksummed (read-only
+               transaction, so it abandons its empty record unfenced) *)
+            results.(!cur_i) <-
+              Oindex.scan ctx t.oidx ~shard:s.id ~anchor:!cur_key ~len
       in
       Group_commit.batch_begin s.gc;
       List.iteri
@@ -247,7 +239,10 @@ let recover t =
     (fun s ->
       Admission.clear s.adm;
       Group_commit.reset s.gc)
-    t.shard_tbl
+    t.shard_tbl;
+  (* rediscover the ordered index from its root slot: fresh tree
+     handles off the replayed media, fresh populated bitmap *)
+  t.oidx <- Oindex.recover t.heap ~shards:t.cfg.shards ~keys:t.cfg.keys
 
 let peek t k =
   if k < 0 || k >= t.cfg.keys then invalid_arg "Service.peek: bad key";
@@ -284,6 +279,8 @@ let shard_stats t i =
 let owned_keys t i =
   if i < 0 || i >= t.cfg.shards then invalid_arg "Service.owned_keys: bad shard";
   Array.copy t.owned.(i)
+
+let oindex t = t.oidx
 
 let rejected t =
   Array.fold_left (fun n s -> n + Admission.rejected s.adm) 0 t.shard_tbl

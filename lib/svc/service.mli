@@ -29,12 +29,15 @@ type op =
           (YCSB-F's workhorse); the completion value is the new cell
           value *)
   | Scan of int
-      (** short scan of up to [len >= 1] keys, stubbed over the point
-          API until [lib/pstruct] grows an ordered index: walks the
-          anchor key's shard-local owned-key row in ascending key order
-          (never crossing a shard, so cell ownership and the data
-          plane's line-disjointness hold); the completion value is a sum
-          checksum over the cells read *)
+      (** ordered scan of up to [len >= 1] {e populated} keys (keys
+          some client write has touched), served by the shard's
+          persistent {!Specpmt_pstruct.Pbtree} via {!Oindex.scan}:
+          walks the tree from the smallest populated key [>= anchor]
+          in ascending key order, never crossing a shard, so cell
+          ownership and the data plane's line-disjointness hold; the
+          completion value is the order-sensitive checksum
+          [acc = (acc*31 + key + value) land max_int] over the window
+          (0 when no populated key follows the anchor in its shard) *)
 
 type request = { client : int; key : int; op : op; enq_ns : float }
 
@@ -58,11 +61,14 @@ type config = {
 type t
 
 val create : ?params:Spec_soft.params -> Heap.t -> config -> t
-(** Build the service on a formatted pool: allocates the key table and
+(** Build the service on a formatted pool: allocates the key table,
     runs one {e adoption} transaction per shard (writing 0 to every
     owned key) so that every cell is logged before its first client
     write — Section 4.3.2's precondition for revoking uncommitted
-    in-place updates. *)
+    in-place updates — and creates the per-shard ordered index
+    ({!Oindex.create}), persisting its directory under root slot
+    {!Specpmt_backends.Slots.svc_index}.  Adoption does not populate
+    the index: only client writes do. *)
 
 val submit :
   t -> client:int -> key:int -> op -> Admission.verdict
@@ -78,8 +84,9 @@ val drain : ?on_ack:(completion -> unit) -> t -> completion list
 
 val recover : t -> unit
 (** Post-crash: multi-threaded log recovery over all shards, then drop
-    queued/executing requests (they died unacknowledged) and clear the
-    seal flags. *)
+    queued/executing requests (they died unacknowledged), clear the
+    seal flags, and rediscover the ordered index from its root slot
+    ({!Oindex.recover}). *)
 
 val route : shards:int -> int -> int
 (** The pure router hash: 32-bit Fibonacci (Knuth multiplicative)
@@ -118,5 +125,9 @@ val rejected : t -> int
 (** Total sheds across shards. *)
 
 val owned_keys : t -> int -> int array
-(** The keys shard [i] owns, in ascending order — the shard-local row
-    {!op.Scan} walks.  A fresh copy (test/audit use). *)
+(** The keys shard [i] owns, in ascending order — the rows adoption
+    iterates.  A fresh copy (test/audit use). *)
+
+val oindex : t -> Oindex.t
+(** The live per-shard ordered index (test/audit use; replaced by
+    {!recover}). *)

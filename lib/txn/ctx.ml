@@ -55,3 +55,16 @@ let raw_ctx (heap : Specpmt_pmalloc.Heap.t) =
     alloc = (fun n -> Specpmt_pmalloc.Heap.alloc heap n);
     free = (fun a -> Specpmt_pmalloc.Heap.free heap a);
   }
+
+(** Read-only, unmetered access for recovery rediscovery and post-crash
+    audits: reads bypass the cache and the device clock
+    ({!Specpmt_pmem.Pmem.peek_volatile_int}, so auditing a structure
+    costs no simulated time and dirties no line); writes, allocation
+    and free raise [Invalid_argument]. *)
+let peek_ctx (pm : Pmem.t) =
+  {
+    read = (fun a -> Pmem.peek_volatile_int pm a);
+    write = (fun _ _ -> invalid_arg "Ctx.peek_ctx: read-only");
+    alloc = (fun _ -> invalid_arg "Ctx.peek_ctx: read-only");
+    free = (fun _ -> invalid_arg "Ctx.peek_ctx: read-only");
+  }

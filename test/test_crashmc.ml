@@ -81,6 +81,34 @@ let test_replay_roundtrip () =
   | Crashmc.Run_completed -> ()
   | _ -> Alcotest.fail "an unburnt fuse must report Run_completed"
 
+(* The btree target's workload provably crosses every structural
+   transition at the CI sweep's parameters: a clean exploration at these
+   parameters is then a statement about splits, merges and root moves
+   under crashes, not just about point updates. *)
+let test_btree_coverage () =
+  let st = Crashmc.btree_coverage ~cells:24 ~txs:12 ~max_writes:6 ~seed:1 () in
+  let open Specpmt_pstruct.Pbtree in
+  Alcotest.(check bool) "leaf splits" true (st.leaf_splits > 0);
+  Alcotest.(check bool) "internal splits" true (st.internal_splits > 0);
+  Alcotest.(check bool) "merges" true (st.merges > 0);
+  Alcotest.(check bool) "root growth" true (st.root_grows > 0);
+  Alcotest.(check bool) "root collapse" true (st.root_shrinks > 0)
+
+(* strided btree sweep at the structural-coverage parameters (the small
+   exhaustive workload above has too few cells to split an order-4
+   tree): every sampled crash point must audit clean *)
+let test_btree_sweep () =
+  let r =
+    Crashmc.explore ~cells:24 ~txs:12 ~max_writes:6 ~budget:200
+      ~scheme:"SpecSPMT-btree" ~seed:1 ()
+  in
+  if r.Crashmc.failures <> [] then
+    Alcotest.failf "SpecSPMT-btree: %d failures:\n%s"
+      (List.length r.Crashmc.failures)
+      (pp_failures r);
+  Alcotest.(check int) "all cases pass" r.Crashmc.cases r.Crashmc.passes;
+  Alcotest.(check bool) "swept a real case count" true (r.Crashmc.cases >= 100)
+
 (* the reproducer encoding survives a round trip for every choice form *)
 let test_choice_roundtrip () =
   List.iter
@@ -109,6 +137,11 @@ let () =
         List.map
           (fun s -> Alcotest.test_case s `Slow (test_exhaustive_clean s))
           (Crashmc.target_names ()) );
+      ( "btree target",
+        [
+          Alcotest.test_case "structural coverage" `Quick test_btree_coverage;
+          Alcotest.test_case "strided sweep clean" `Slow test_btree_sweep;
+        ] );
       ( "engine",
         [
           Alcotest.test_case "deterministic report" `Quick test_deterministic;

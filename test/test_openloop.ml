@@ -249,27 +249,50 @@ let test_rmw_scan_semantics () =
     (submit_drain 5 (Service.Rmw 7));
   Alcotest.(check int) "rmw persisted" 17 (Service.peek svc 5);
   Alcotest.(check int) "rmw composes" 18 (submit_drain 5 (Service.Rmw 1));
-  (* scan: walk key 5's shard-local owned row and checksum the cells *)
+  (* Scan semantics: ordered walk of the shard's POPULATED keys from
+     the anchor — only keys a client write has touched are visible.
+     Populate a few more keys of key 5's shard, then model the walk
+     from the sorted populated row. *)
   let shard = Service.shard_of_key svc 5 in
   let row = Service.owned_keys svc shard in
-  let rank = ref (-1) in
-  Array.iteri (fun i k -> if k = 5 then rank := i) row;
-  Alcotest.(check bool) "key 5 is in its shard's row" true (!rank >= 0);
-  let expect len =
-    let stop = min (Array.length row) (!rank + len) in
-    let sum = ref 0 in
-    for j = !rank to stop - 1 do
-      sum := (!sum + Service.peek svc row.(j)) land max_int
-    done;
-    !sum
+  Alcotest.(check bool) "key 5 is in its shard's row" true
+    (Array.exists (fun k -> k = 5) row);
+  (* populate every 3rd owned key besides 5 (writes also index them) *)
+  Array.iteri
+    (fun i k -> if i mod 3 = 0 && k <> 5 then
+        ignore (submit_drain k (Service.Write (100 + k))))
+    row;
+  let populated =
+    Array.to_list row
+    |> List.filter (fun k -> Oindex.is_populated (Service.oindex svc) k)
   in
-  Alcotest.(check int) "scan 4 sums the window" (expect 4)
+  Alcotest.(check bool) "populated keys include 5" true
+    (List.mem 5 populated);
+  let expect ~anchor len =
+    let window =
+      List.filter (fun k -> k >= anchor) populated |> List.filteri (fun i _ -> i < len)
+    in
+    List.fold_left
+      (fun acc k -> ((acc * 31) + k + Service.peek svc k) land max_int)
+      0 window
+  in
+  Alcotest.(check int) "scan 4 checksums the window" (expect ~anchor:5 4)
     (submit_drain 5 (Service.Scan 4));
-  Alcotest.(check int) "scan 1 is a point read" 18
+  Alcotest.(check int) "scan 1 is a point checksum"
+    ((5 + 18) land max_int)
     (submit_drain 5 (Service.Scan 1));
-  Alcotest.(check int) "scan clips at the row end"
-    (expect (Array.length row + 10))
+  Alcotest.(check int) "scan clips at the populated end"
+    (expect ~anchor:5 (Array.length row + 10))
     (submit_drain 5 (Service.Scan (Array.length row + 10)));
+  (* unpopulated tail: an anchor past every populated key scans nothing *)
+  let max_pop = List.fold_left max 0 populated in
+  (match
+     Array.to_list row |> List.filter (fun k -> k > max_pop)
+   with
+  | [] -> ()
+  | k :: _ ->
+      Alcotest.(check int) "scan past the populated set is 0" 0
+        (submit_drain k (Service.Scan 4)));
   Alcotest.(check bool) "scan 0 raises" true
     (match Service.submit svc ~client:0 ~key:5 (Service.Scan 0) with
     | _ -> false

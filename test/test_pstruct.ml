@@ -193,6 +193,182 @@ let prop_plist_matches_stack =
         ops;
       Plist.to_list ctx t = !r && Plist.length ctx t = List.length !r)
 
+(* pbtree: directed structural coverage at order 4 *)
+
+let test_pbtree_structure () =
+  let _, _, ctx = mk () in
+  let t = Pbtree.create ~order:4 ctx () in
+  Pbtree.check ctx t;
+  Alcotest.(check (list (pair int int))) "empty range" []
+    (Pbtree.range ctx t ~lo:0 ~hi:100);
+  (* ascending bulk insert: leaf splits, internal splits, root growth *)
+  for k = 0 to 60 do
+    Pbtree.insert ctx t k (k * 7);
+    Pbtree.check ctx t
+  done;
+  let st = Pbtree.stats t in
+  Alcotest.(check bool) "leaf splits" true (st.Pbtree.leaf_splits > 0);
+  Alcotest.(check bool) "internal splits" true (st.Pbtree.internal_splits > 0);
+  Alcotest.(check bool) "root grows" true (st.Pbtree.root_grows > 1);
+  Alcotest.(check int) "length" 61 (Pbtree.length ctx t);
+  Alcotest.(check bool) "height > 2" true (Pbtree.height ctx t > 2);
+  (* range semantics at the edges *)
+  Alcotest.(check (list (pair int int)))
+    "interior range"
+    (List.init 4 (fun i -> (5 + i, (5 + i) * 7)))
+    (Pbtree.range ctx t ~lo:5 ~hi:8);
+  Alcotest.(check (list (pair int int)))
+    "clipped range" [ (60, 420) ]
+    (Pbtree.range ctx t ~lo:60 ~hi:10_000);
+  (* early-stop iteration: first 3 entries from an interior anchor *)
+  let got = ref [] and left = ref 3 in
+  Pbtree.iter_from ctx t ~lo:17 (fun k v ->
+      got := (k, v) :: !got;
+      decr left;
+      !left > 0);
+  Alcotest.(check (list (pair int int)))
+    "iter_from stops"
+    [ (17, 119); (18, 126); (19, 133) ]
+    (List.rev !got);
+  (* overwrite does not change the count *)
+  Pbtree.insert ctx t 17 999;
+  Alcotest.(check int) "overwrite keeps length" 61 (Pbtree.length ctx t);
+  Alcotest.(check (option int)) "overwrite lands" (Some 999)
+    (Pbtree.find ctx t 17);
+  (* handle rediscovery from the persisted header *)
+  let t2 = Pbtree.of_header ctx (Pbtree.header t) in
+  Alcotest.(check int) "of_header order" 4 (Pbtree.order t2);
+  Alcotest.(check (option int)) "of_header finds" (Some 999)
+    (Pbtree.find ctx t2 17);
+  (* ascending removal of everything: borrows/merges and root shrink *)
+  for k = 0 to 60 do
+    Alcotest.(check bool) "removed" true (Pbtree.remove ctx t k);
+    Pbtree.check ctx t
+  done;
+  Alcotest.(check bool) "absent remove" false (Pbtree.remove ctx t 5);
+  Alcotest.(check int) "emptied" 0 (Pbtree.length ctx t);
+  Alcotest.(check int) "height back to 1" 1 (Pbtree.height ctx t);
+  Alcotest.(check bool) "merges" true (st.Pbtree.merges > 0);
+  Alcotest.(check bool) "root shrinks" true (st.Pbtree.root_shrinks > 1)
+
+(* pbtree vs Map reference: insert/overwrite/remove/range *)
+
+let prop_pbtree_matches_map =
+  QCheck.Test.make ~name:"pbtree behaves like Map" ~count:100
+    QCheck.(
+      list_of_size Gen.(1 -- 150)
+        (triple (int_bound 200) (int_bound 10_000) (int_bound 9)))
+    (fun ops ->
+      let _, _, ctx = mk () in
+      let t = Pbtree.create ~order:4 ctx () in
+      let r = ref IntMap.empty in
+      List.iteri
+        (fun i (k, v, action) ->
+          if action < 6 then begin
+            Pbtree.insert ctx t k v;
+            r := IntMap.add k v !r
+          end
+          else if action < 8 then begin
+            let removed = Pbtree.remove ctx t k in
+            assert (removed = IntMap.mem k !r);
+            r := IntMap.remove k !r
+          end
+          else begin
+            let hi = k + (v mod 40) in
+            let expect =
+              IntMap.bindings (IntMap.filter (fun k' _ -> k' >= k && k' <= hi) !r)
+            in
+            assert (Pbtree.range ctx t ~lo:k ~hi = expect)
+          end;
+          if i land 15 = 0 then Pbtree.check ctx t)
+        ops;
+      Pbtree.check ctx t;
+      Pbtree.fold ctx t (fun k v acc -> (k, v) :: acc) [] |> List.rev
+      = IntMap.bindings !r
+      && Pbtree.length ctx t = IntMap.cardinal !r)
+
+(* pbtree under a crash at a random persistence event: recover, audit
+   the surviving prefix against the Map model, rediscover the handle
+   from its header, finish the sequence, audit again *)
+
+let prop_pbtree_crash_recover =
+  QCheck.Test.make ~name:"pbtree crash/recover matches a Map prefix" ~count:60
+    QCheck.(
+      triple
+        (list_of_size Gen.(10 -- 80)
+           (triple (int_bound 150) (int_bound 10_000) (int_bound 8)))
+        (int_bound 4_000) small_nat)
+    (fun (ops, fuse, seed) ->
+      let pm =
+        Pmem.create ~seed { Config.small with crash_word_persist_prob = 0.6 }
+      in
+      let heap = Heap.create pm in
+      let b =
+        Specpmt_backends.Registry.create heap Specpmt_backends.Registry.Spec
+      in
+      let t = b.Ctx.run_tx (fun ctx -> Pbtree.create ~order:4 ctx ()) in
+      (* model after each committed transaction (one op per tx) *)
+      let models = Array.make (List.length ops + 1) IntMap.empty in
+      List.iteri
+        (fun i (k, v, action) ->
+          models.(i + 1) <-
+            (if action < 6 then IntMap.add k v models.(i)
+             else IntMap.remove k models.(i)))
+        ops;
+      let apply ctx (k, v, action) =
+        if action < 6 then Pbtree.insert ctx t k v
+        else ignore (Pbtree.remove ctx t k)
+      in
+      Pmem.set_fuse pm (Some (1 + fuse));
+      let committed = ref 0 in
+      let crashed =
+        try
+          List.iter
+            (fun op ->
+              b.Ctx.run_tx (fun ctx -> apply ctx op);
+              incr committed)
+            ops;
+          Pmem.set_fuse pm None;
+          false
+        with Pmem.Crash -> true
+      in
+      if crashed then begin
+        Pmem.crash pm;
+        b.Ctx.recover ()
+      end;
+      (* rediscover through the persisted header, as recovery would *)
+      let ctx = Ctx.raw_ctx heap in
+      let t' = Pbtree.of_header ctx (Pbtree.header t) in
+      Pbtree.check ctx t';
+      let bindings () =
+        List.rev (Pbtree.fold ctx t' (fun k v acc -> (k, v) :: acc) [])
+      in
+      (* atomic durability: the tree matches the model after [committed]
+         txs, or [committed + 1] when the crash hit after the commit
+         point but before control returned *)
+      let c = !committed in
+      let resume =
+        if bindings () = IntMap.bindings models.(c) then c
+        else if
+          c + 1 < Array.length models
+          && bindings () = IntMap.bindings models.(c + 1)
+        then c + 1
+        else -1
+      in
+      if resume < 0 then false
+      else begin
+        (* finish the sequence on the recovered tree *)
+        List.iteri
+          (fun i (k, v, action) ->
+            if i >= resume then
+              b.Ctx.run_tx (fun ctx ->
+                  if action < 6 then Pbtree.insert ctx t' k v
+                  else ignore (Pbtree.remove ctx t' k)))
+          ops;
+        Pbtree.check ctx t';
+        bindings () = IntMap.bindings models.(Array.length models - 1)
+      end)
+
 (* structures running inside transactions recover correctly *)
 
 let test_structures_under_crash () =
@@ -239,6 +415,12 @@ let () =
           QCheck_alcotest.to_alcotest prop_ptreap_matches_map;
           QCheck_alcotest.to_alcotest prop_pvector_matches_dynarray;
           QCheck_alcotest.to_alcotest prop_plist_matches_stack;
+          QCheck_alcotest.to_alcotest prop_pbtree_matches_map;
+        ] );
+      ( "pbtree",
+        [
+          Alcotest.test_case "structure" `Quick test_pbtree_structure;
+          QCheck_alcotest.to_alcotest prop_pbtree_crash_recover;
         ] );
       ( "transactional",
         [
