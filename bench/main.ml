@@ -1250,6 +1250,60 @@ let ycsb () =
     Svc.Openloop.recovery_under_load heap cfg rec_stream ~fuse_batches:20
   in
   Printf.printf "\n%s" (Format.asprintf "%a" Svc.Openloop.pp_recovery rv);
+  (* 6: shadow mirror on/off — mix E (scan-heavy) through the serial
+     service in a closed loop, same stream both ways.  Batch
+     composition here is a pure function of the stream (submit until a
+     shed, then drain), so the acked count, completion checksum and
+     fence count must be byte-identical; only the device clock — which
+     with the mirror no longer pays descent reads — and the host clock
+     may move. *)
+  let e_stream = stream_of Svc.Scenario.E in
+  let run_e shadow =
+    Obs.Metrics.reset_all ();
+    let pm = Pmem.create ~seed Pmem_config.default in
+    let heap = Heap.create pm in
+    let svc =
+      Svc.Service.create ~shadow heap
+        { Svc.Service.shards; batch_max; depth; keys }
+    in
+    let acked = ref 0 and cksum = ref 0 in
+    let absorb () =
+      List.iter
+        (fun c ->
+          incr acked;
+          cksum := ((!cksum * 31) + c.Svc.Service.value) land max_int)
+        (Svc.Service.drain svc)
+    in
+    let st0 = Stats.copy (Pmem.stats pm) in
+    let w0 = Unix.gettimeofday () in
+    Array.iter
+      (fun (key, op) ->
+        let rec submit () =
+          match Svc.Service.submit svc ~client:0 ~key op with
+          | Svc.Admission.Accepted -> ()
+          | Svc.Admission.Rejected _ ->
+              absorb ();
+              submit ()
+        in
+        submit ())
+      e_stream;
+    absorb ();
+    let wall_ns = (Unix.gettimeofday () -. w0) *. 1e9 in
+    let d = Stats.diff st0 (Pmem.stats pm) in
+    (!acked, !cksum, d.Stats.fences, d.Stats.loads, d.Stats.ns, wall_ns)
+  in
+  let a_off, ck_off, f_off, l_off, sim_off, wall_off = run_e false in
+  let a_on, ck_on, f_on, l_on, sim_on, wall_on = run_e true in
+  let e_same = a_off = a_on && ck_off = ck_on && f_off = f_on in
+  let per v a = v /. float_of_int (max 1 a) in
+  Printf.printf
+    "\nmix E, shadow off vs on (serial closed loop, %d ops): op counts, \
+     checksum and fences %s\n" ops
+    (if e_same then "identical" else "DIVERGE");
+  Printf.printf "  off: %8.1f sim ns/op  %8.0f host ns/op  %9d loads\n"
+    (per sim_off a_off) (per wall_off a_off) l_off;
+  Printf.printf "  on:  %8.1f sim ns/op  %8.0f host ns/op  %9d loads\n"
+    (per sim_on a_on) (per wall_on a_on) l_on;
   record_ycsb "invariant"
     (Json.Obj
        [
@@ -1287,6 +1341,14 @@ let ycsb () =
                ("recover_ns", Json.Float rv.rv_recover_ns);
                ("audit_failures", Json.Int rv.rv_audit_failures);
              ] );
+         ( "shadow_mix_e",
+           Json.Obj
+             [
+               ("identical", Json.Bool e_same);
+               ("acked", Json.Int a_off);
+               ("checksum", Json.Int ck_off);
+               ("fences", Json.Int f_off);
+             ] );
        ]);
   record_ycsb "modelled"
     (Json.Obj
@@ -1318,6 +1380,14 @@ let ycsb () =
                       ("fences_per_op", Json.Float r.fences_per_op);
                     ])
                 Svc.Scenario.all_mixes mix_reports) );
+         ( "shadow_mix_e",
+           Json.Obj
+             [
+               ("ns_per_op_off", Json.Float (per sim_off a_off));
+               ("ns_per_op_on", Json.Float (per sim_on a_on));
+               ("loads_off", Json.Int l_off);
+               ("loads_on", Json.Int l_on);
+             ] );
        ]);
   record_ycsb "measured"
     (Json.Obj
@@ -1332,6 +1402,12 @@ let ycsb () =
                ("first_ack_wall_s", Json.Float rv.rv_first_ack_wall_s);
                ("rto_wall_s", Json.Float rv.rv_rto_wall_s);
                ("total_wall_s", Json.Float rv.rv_total_wall_s);
+             ] );
+         ( "shadow_mix_e",
+           Json.Obj
+             [
+               ("wall_ns_per_op_off", Json.Float (per wall_off a_off));
+               ("wall_ns_per_op_on", Json.Float (per wall_on a_on));
              ] );
        ])
 
@@ -1387,9 +1463,12 @@ let scan () =
     (Pmem.stats pm).Stats.ns -. t0
   in
   (* each scan is one read-only transaction from a staggered anchor, as
-     in the service's Scan path *)
+     in the service's Scan path; wall clock brackets the same loop so
+     the host cost of the descent machinery is measured alongside the
+     device model *)
   let tree_scan len =
     let entries = ref 0 in
+    let w0 = Unix.gettimeofday () in
     let ns =
       sim (fun () ->
           for r = 0 to rounds - 1 do
@@ -1403,7 +1482,8 @@ let scan () =
                     !left > 0))
           done)
     in
-    (ns, !entries)
+    let wall = (Unix.gettimeofday () -. w0) *. 1e9 in
+    (ns, wall, !entries)
   in
   (* the retired stub's access pattern: an ascending walk of the flat
      cell table, no index to consult — the lower bound a real ordered
@@ -1424,16 +1504,49 @@ let scan () =
     in
     (ns, !entries)
   in
-  Printf.printf "\n%-6s %9s %14s %15s %7s\n" "len" "entries" "tree ns/entry"
-    "point ns/entry" "ratio";
-  List.iter
-    (fun len ->
-      let tns, te = tree_scan len in
-      let pns, pe = point_scan len in
+  (* point lookups: device-model loads and host wall per read-only
+     [find] — the descent-cost probe the CI read budget audits *)
+  let find_probe () =
+    let probes = 16384 in
+    (* warm the host caches so the wall number is the steady state *)
+    for r = 0 to 511 do
+      b.Ctx.run_tx (fun ctx ->
+          ignore (Pstruct.Pbtree.find ctx tree (r * 977 mod n)))
+    done;
+    let l0 = (Pmem.stats pm).Stats.loads in
+    let w0 = Unix.gettimeofday () in
+    for r = 0 to probes - 1 do
+      let key = r * 977 mod n in
+      b.Ctx.run_tx (fun ctx -> ignore (Pstruct.Pbtree.find ctx tree key))
+    done;
+    let wall = (Unix.gettimeofday () -. w0) *. 1e9 in
+    let loads = (Pmem.stats pm).Stats.loads - l0 in
+    (float_of_int loads /. float_of_int probes, wall /. float_of_int probes)
+  in
+  let lens = [ 1; 4; 16; 64 ] in
+  (* shadow-off first: the PR 9 measurements, JSON keys unchanged *)
+  let off = List.map (fun len -> (len, tree_scan len, point_scan len)) lens in
+  let off_loads, off_find_wall = find_probe () in
+  (* attach the DRAM mirror (one unmetered peek pass) and re-measure the
+     same tree: descents now cost hashtable probes and binary searches
+     instead of device reads *)
+  Pstruct.Pbtree.attach_shadow (Ctx.peek_ctx pm) tree;
+  let on = List.map tree_scan lens in
+  let on_loads, on_find_wall = find_probe () in
+  let sh_hits, sh_misses, sh_rebuild_ns =
+    match Pstruct.Pbtree.shadow tree with
+    | Some sh -> Pstruct.Shadow.totals sh
+    | None -> (0, 0, 0)
+  in
+  Printf.printf "\n%-6s %9s %14s %15s %7s %15s %7s\n" "len" "entries"
+    "tree ns/entry" "point ns/entry" "ratio" "shadow ns/entry" "off/on";
+  List.iter2
+    (fun (len, (tns, twall, te), (pns, pe)) (ons, owall, oe) ->
       let tpe = tns /. float_of_int (max 1 te)
-      and ppe = pns /. float_of_int (max 1 pe) in
-      Printf.printf "%-6d %9d %14.1f %15.1f %7.2f\n" len te tpe ppe
-        (tpe /. ppe);
+      and ppe = pns /. float_of_int (max 1 pe)
+      and ope = ons /. float_of_int (max 1 oe) in
+      Printf.printf "%-6d %9d %14.1f %15.1f %7.2f %15.1f %7.2f\n" len te tpe
+        ppe (tpe /. ppe) ope (tpe /. ope);
       record_scan
         (Json.Obj
            [
@@ -1442,11 +1555,35 @@ let scan () =
              ("entries", Json.Int te);
              ("tree_ns_per_entry", Json.Float tpe);
              ("point_ns_per_entry", Json.Float ppe);
+             ( "tree_wall_ns_per_entry",
+               Json.Float (twall /. float_of_int (max 1 te)) );
+             ("shadow_tree_ns_per_entry", Json.Float ope);
+             ( "shadow_tree_wall_ns_per_entry",
+               Json.Float (owall /. float_of_int (max 1 oe)) );
            ]))
-    [ 1; 4; 16; 64 ];
+    off on;
+  Printf.printf
+    "point lookup (find): %.1f device loads/op off -> %.1f on; host %.0f \
+     ns/op off -> %.0f on\n"
+    off_loads on_loads off_find_wall on_find_wall;
+  Printf.printf "shadow: %d hits, %d misses, rebuild %.3f ms\n" sh_hits
+    sh_misses
+    (float_of_int sh_rebuild_ns /. 1e6);
+  record_scan
+    (Json.Obj
+       [
+         ("find_loads_per_lookup_off", Json.Float off_loads);
+         ("find_loads_per_lookup_on", Json.Float on_loads);
+         ("find_wall_ns_off", Json.Float off_find_wall);
+         ("find_wall_ns_on", Json.Float on_find_wall);
+         ("shadow_hits", Json.Int sh_hits);
+         ("shadow_misses", Json.Int sh_misses);
+         ("shadow_rebuild_ns", Json.Int sh_rebuild_ns);
+       ]);
   Printf.printf
     "shape: the B-link walk pays its root-to-leaf descent once per scan, \
-     so ns/entry falls toward the flat walk as the window grows\n"
+     so ns/entry falls toward the flat walk as the window grows; the \
+     mirror removes the descent's device reads entirely\n"
 
 (* ---------- Bechamel wall-clock microbenches ---------- *)
 

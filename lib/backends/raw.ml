@@ -15,6 +15,9 @@ let create heap =
       write = (fun a v -> Pmem.store_int pm a v);
       alloc = (fun n -> Heap.alloc heap n);
       free = (fun a -> Heap.free heap a);
+      (* non-transactional: effects are final when made, so an outcome
+         hook can only ever observe a commit — fire it immediately *)
+      on_end = (fun f -> f true);
     }
   in
   {

@@ -112,21 +112,30 @@ let rollback t =
 let run_tx t f =
   if t.in_tx then invalid_arg "Spec_hashlog: nested transaction";
   t.in_tx <- true;
+  (* outcome hooks fire from these dispatch arms, never from
+     [commit]/[rollback] — [rollback] itself ends in [commit] *)
+  let hooks = Ctx.Hooks.create () in
   let ctx =
     {
       Ctx.read = (fun a -> Pmem.load_int t.pm a);
       write = (fun a v -> tx_write t a v);
       alloc = (fun n -> Heap.alloc t.heap n);
       free = (fun a -> t.frees <- a :: t.frees);
+      on_end = Ctx.Hooks.register hooks;
     }
   in
   match f ctx with
   | v ->
       commit t;
+      Ctx.Hooks.fire hooks true;
       v
   | exception Ctx.Abort ->
       rollback t;
+      Ctx.Hooks.fire hooks false;
       raise Ctx.Abort
+  | exception e ->
+      Ctx.Hooks.fire hooks false;
+      raise e
 
 let recover t =
   Heap.recover t.heap;

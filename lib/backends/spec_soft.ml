@@ -75,6 +75,7 @@ type t = {
 }
 
 let params t = t.params
+let pmem t = t.pm
 let live_cells t = Hashtbl.length t.vindex
 let stale_entries t = Log_arena.total_entries t.arena - live_cells t
 
@@ -373,6 +374,9 @@ let run_tx t f =
   if t.in_tx then invalid_arg "Spec_soft: nested transaction";
   t.in_tx <- true;
   Log_arena.begin_record t.arena;
+  (* outcome hooks live for exactly this transaction; fired from the
+     dispatch arms below, never from [commit]/[rollback] themselves *)
+  let hooks = Ctx.Hooks.create () in
   let ctx =
     {
       Ctx.read = (fun a -> Pmem.load_int t.pm a);
@@ -383,15 +387,24 @@ let run_tx t f =
           t.allocs <- a :: t.allocs;
           a);
       free = (fun a -> t.frees <- a :: t.frees);
+      on_end = Ctx.Hooks.register hooks;
     }
   in
   match f ctx with
   | v ->
       commit t;
+      Ctx.Hooks.fire hooks true;
       v
   | exception Ctx.Abort ->
       rollback t;
+      Ctx.Hooks.fire hooks false;
       raise Ctx.Abort
+  | exception e ->
+      (* a device crash (or any other error) escapes without commit or
+         rollback; the hooks still learn the transaction did not commit,
+         so volatile caches drop their staged deltas *)
+      Ctx.Hooks.fire hooks false;
+      raise e
 
 (* ---------- Group commit ---------- *)
 

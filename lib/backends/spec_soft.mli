@@ -94,6 +94,13 @@ type t
 val params : t -> params
 (** The parameters this runtime was created with. *)
 
+val pmem : t -> Pmem.t
+(** The device view this runtime's transactions read and write through.
+    In the data plane every shard's runtime holds its worker domain's
+    incoherent view — volatile rebuilds that must observe the shard's
+    own (possibly cached, not yet written back) tree cells peek through
+    this view, not through the parent. *)
+
 val create :
   ?head_slot:int -> ?tsc:Specpmt_txn.Tsc.t -> Heap.t -> params -> Ctx.backend * t
 (** Fresh runtime on a formatted pool.  [head_slot] selects the root slot

@@ -33,6 +33,12 @@ type t = {
   mutable pending : (Addr.t * int) list list; (* committed, not yet replayed *)
   mutable pending_entries : int;
   replay_batch : int;
+  buffer_probes : Specpmt_obs.Metrics.counter;
+      (* [tx.buffer_probes]: read-own-writes lookups that actually probed
+         the snapshot buffer.  Cached at create time (the backend is
+         domain-local, like the registry cell) so the hot path pays no
+         name lookup; the empty-buffer fast path below keeps read-only
+         transactions at zero probes *)
 }
 
 (* Background replayer: persists the data updates of committed records and
@@ -56,10 +62,18 @@ let replay t =
     t.pending_entries <- 0
   end
 
+(* Read-own-writes with an empty-write-set fast path: a read-only
+   transaction (every scan) has nothing buffered, so it must not pay a
+   hashtable probe per cell.  The non-empty path uses the exception
+   form of [find] — no option boxing per read. *)
 let tx_read t a =
-  match Hashtbl.find_opt t.tx_buffer a with
-  | Some v -> v
-  | None -> Pmem.load_int t.pm a
+  if Hashtbl.length t.tx_buffer = 0 then Pmem.load_int t.pm a
+  else begin
+    Specpmt_obs.Metrics.incr t.buffer_probes;
+    match Hashtbl.find t.tx_buffer a with
+    | v -> v
+    | exception Not_found -> Pmem.load_int t.pm a
+  end
 
 let tx_write t a v =
   let old_value = tx_read t a in
@@ -103,21 +117,28 @@ let rollback t =
 let run_tx t f =
   if t.in_tx then invalid_arg "Spht: nested transaction";
   t.in_tx <- true;
+  let hooks = Ctx.Hooks.create () in
   let ctx =
     {
       Ctx.read = (fun a -> tx_read t a);
       write = (fun a v -> tx_write t a v);
       alloc = (fun n -> Heap.alloc t.heap n);
       free = (fun a -> t.frees <- a :: t.frees);
+      on_end = Ctx.Hooks.register hooks;
     }
   in
   match f ctx with
   | v ->
       commit t;
+      Ctx.Hooks.fire hooks true;
       v
   | exception Ctx.Abort ->
       rollback t;
+      Ctx.Hooks.fire hooks false;
       raise Ctx.Abort
+  | exception e ->
+      Ctx.Hooks.fire hooks false;
+      raise e
 
 let recover t =
   Heap.recover t.heap;
@@ -155,6 +176,7 @@ let create heap =
       pending = [];
       pending_entries = 0;
       replay_batch = 4096;
+      buffer_probes = Specpmt_obs.Metrics.counter "tx.buffer_probes";
     }
   in
   {

@@ -386,6 +386,12 @@ let btree_target =
           b.Ctx.run_tx (fun ctx -> Pbtree.create ~order:btree_order ctx ())
         in
         let pm = Heap.pmem heap in
+        (* mirror the live handle so every explored crash point also
+           exercises the shadow's transactional staging: deltas commit
+           on the outcome hook, and a Pmem.Crash escaping run_tx drops
+           them.  The mirror is never trusted after the crash — the
+           recovery audit below rebuilds a fresh one from media. *)
+        Pbtree.attach_shadow (Ctx.peek_ctx pm) tree;
         {
           run_tx = (fun _ f -> b.Ctx.run_tx f);
           recover = b.Ctx.recover;
@@ -401,6 +407,14 @@ let btree_target =
                 let ctx = Ctx.peek_ctx pm in
                 let t = Pbtree.of_header ctx (Pbtree.header tree) in
                 Pbtree.check ctx t;
+                (* shadow-coherence audit: rebuild a mirror from the
+                   recovered media, then field-compare it against a
+                   direct media walk ([verify_shadow] raises on any
+                   divergence — same failure class as [check]) and
+                   serve the state readback through it, so the audited
+                   bindings are the mirror's, not the device's *)
+                Pbtree.attach_shadow ctx t;
+                Pbtree.verify_shadow ctx t;
                 let got = Array.make cells 0 in
                 Pbtree.iter ctx t (fun k v -> got.(k) <- v);
                 got);

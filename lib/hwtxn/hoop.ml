@@ -54,6 +54,10 @@ type t = {
   stream_ns_per_update : float;
       (** on-chip log-buffer drain: WPQ acceptance plus the entry's share
           of log-write bandwidth, paid per update during the transaction *)
+  buffer_probes : Specpmt_obs.Metrics.counter;
+      (* [tx.buffer_probes]: read-own-writes lookups that actually probed
+         the redirection buffer; the empty-buffer fast path keeps
+         read-only transactions at zero probes *)
 }
 
 let block_bytes = 4096
@@ -105,10 +109,18 @@ let gc t =
     t.pending_entries <- 0
   end
 
+(* Read redirection with an empty-buffer fast path: a read-only
+   transaction has no write intents buffered, so it must not pay a
+   hashtable probe per cell.  The non-empty path uses the exception form
+   of [find] — no option boxing per read. *)
 let tx_read t a =
-  match Hashtbl.find_opt t.tx_buffer a with
-  | Some v -> v (* read redirection to the write intent *)
-  | None -> Pmem.load_int t.pm a
+  if Hashtbl.length t.tx_buffer = 0 then Pmem.load_int t.pm a
+  else begin
+    Specpmt_obs.Metrics.incr t.buffer_probes;
+    match Hashtbl.find t.tx_buffer a with
+    | v -> v (* read redirection to the write intent *)
+    | exception Not_found -> Pmem.load_int t.pm a
+  end
 
 let tx_write t a v =
   let old_value = tx_read t a in
@@ -163,6 +175,7 @@ let rollback t =
 let run_tx t f =
   if t.in_tx then invalid_arg "Hoop: nested transaction";
   t.in_tx <- true;
+  let hooks = Ctx.Hooks.create () in
   let ctx =
     {
       Ctx.read =
@@ -172,15 +185,23 @@ let run_tx t f =
       write = (fun a v -> tx_write t a v);
       alloc = (fun n -> Heap.alloc t.heap n);
       free = (fun a -> t.frees <- a :: t.frees);
+      on_end = Ctx.Hooks.register hooks;
     }
   in
   match f ctx with
   | v ->
       commit t;
+      Ctx.Hooks.fire hooks true;
       v
   | exception Ctx.Abort ->
       rollback t;
+      Ctx.Hooks.fire hooks false;
       raise Ctx.Abort
+  | exception e ->
+      (* a crash (or any other exception) escapes without committing:
+         volatile hooks observe an aborted outcome *)
+      Ctx.Hooks.fire hooks false;
+      raise e
 
 let recover t =
   Heap.recover t.heap;
@@ -230,6 +251,7 @@ let create ?(gc_batch_entries = 8192) ?(gc_contention = 0.4)
       gc_batch_entries;
       gc_contention;
       stream_ns_per_update;
+      buffer_probes = Specpmt_obs.Metrics.counter "tx.buffer_probes";
     }
   in
   {

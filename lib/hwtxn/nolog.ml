@@ -12,6 +12,7 @@ type t = { heap : Heap.t; pm : Pmem.t; ws : Write_set.t; mutable in_tx : bool }
 let run_tx t f =
   if t.in_tx then invalid_arg "Nolog: nested transaction";
   t.in_tx <- true;
+  let hooks = Ctx.Hooks.create () in
   let ctx =
     {
       Ctx.read = (fun a -> Pmem.load_int t.pm a);
@@ -21,6 +22,7 @@ let run_tx t f =
           Pmem.store_int t.pm a v);
       alloc = (fun n -> Heap.alloc t.heap n);
       free = (fun a -> Heap.free t.heap a);
+      on_end = Ctx.Hooks.register hooks;
     }
   in
   match f ctx with
@@ -29,10 +31,12 @@ let run_tx t f =
       Pmem.sfence t.pm;
       Write_set.clear t.ws;
       t.in_tx <- false;
+      Ctx.Hooks.fire hooks true;
       v
   | exception e ->
       Write_set.clear t.ws;
       t.in_tx <- false;
+      Ctx.Hooks.fire hooks false;
       raise e
 
 let create heap =

@@ -337,6 +337,9 @@ let rollback t =
 let run_tx t f =
   if t.in_tx then invalid_arg "Spec_hw: nested transaction";
   t.in_tx <- true;
+  (* outcome hooks fire from these dispatch arms, never from
+     [commit]/[rollback] — [rollback] itself ends in [commit] *)
+  let hooks = Ctx.Hooks.create () in
   let ctx =
     {
       Ctx.read = (fun a -> Pmem.load_int t.pm a);
@@ -348,15 +351,21 @@ let run_tx t f =
           log_cell t (a - 8);
           a);
       free = (fun a -> t.frees <- a :: t.frees);
+      on_end = Ctx.Hooks.register hooks;
     }
   in
   match f ctx with
   | v ->
       commit t;
+      Ctx.Hooks.fire hooks true;
       v
   | exception Ctx.Abort ->
       rollback t;
+      Ctx.Hooks.fire hooks false;
       raise Ctx.Abort
+  | exception e ->
+      Ctx.Hooks.fire hooks false;
+      raise e
 
 (* Recovery (Section 5.1.1): replay the valid (committed) records in
    chronological order — this also replays each record's generation bump,

@@ -23,7 +23,16 @@
     {!Specpmt_txn.Ctx.peek_ctx} for audits.
 
     Keys must satisfy [min_int < key < max_int]: both extremes are
-    reserved as the tree's -inf/+inf sentinels. *)
+    reserved as the tree's -inf/+inf sentinels.
+
+    {b Shadow mirror.}  {!attach_shadow} equips a handle with a DRAM
+    {!Shadow} mirror of the whole tree; from then on descents, reads
+    and range walks are served from volatile memory (binary search
+    inside nodes), mutations dual-write media and mirror with the
+    mirror side staged until the transaction's outcome hook fires, and
+    only the transactional writes a mutation actually needs remain on
+    the metered path.  With no mirror attached every operation reads
+    through the ctx in exactly the pre-mirror sequence. *)
 
 open Specpmt_pmem
 open Specpmt_txn
@@ -63,6 +72,31 @@ val header : t -> Addr.t
 
 val order : t -> int
 val stats : t -> stats
+
+val attach_shadow : Ctx.ctx -> t -> unit
+(** Build (or rebuild) this handle's DRAM mirror with one pass over the
+    tree through [ctx] — callers pass {!Specpmt_txn.Ctx.peek_ctx} on
+    the device view the handle's transactions run against, so the pass
+    is unmetered and observes that view's cached lines.  Any previous
+    mirror is discarded: after a crash the mirror must never be
+    trusted, recovery paths re-attach from media.  The handle is
+    domain-local once mirrored — do not share it across domains. *)
+
+val detach_shadow : t -> unit
+(** Drop the mirror; the handle reverts to metered ctx reads. *)
+
+val shadow : t -> Shadow.t option
+(** The attached mirror, for metrics ({!Shadow.totals},
+    {!Shadow.publish}) and audits. *)
+
+val verify_shadow : Ctx.ctx -> t -> unit
+(** Audit the mirror against the media image read through [ctx]
+    (normally a peek ctx): root, count, the reachable node set, and
+    every node's meta/high/right plus its live key/payload prefix must
+    match exactly.  Raises [Failure] with a description on the first
+    divergence, [Invalid_argument] if no mirror is attached or a
+    transaction is in flight.  The qcheck differential suite and the
+    crash explorer's recovery audit run this after every recover. *)
 
 val insert : Ctx.ctx -> t -> int -> int -> unit
 (** Insert or overwrite.  Raises [Invalid_argument] when the key is

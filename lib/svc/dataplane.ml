@@ -72,6 +72,7 @@ type t = {
   addr_of_key : Addr.t array;
   owner : int array;  (* key -> shard *)
   owned_keys : int array array;  (* shard -> its keys, ascending *)
+  shadow : bool;  (* DRAM mirrors on the ordered index *)
   mutable oidx : Oindex.t;  (* per-shard ordered index; rebuilt on recover *)
   req_rings : msg Spsc.t array;  (* router -> domain *)
   ack_rings : comp Spsc.t array;  (* domain -> router *)
@@ -92,7 +93,7 @@ let clamp_reclaim params ~log_region_bytes =
       }
   | Spec_soft.Adaptive _ -> params
 
-let create ?(params = Spec_soft.default_params) t_heap cfg =
+let create ?(params = Spec_soft.default_params) ?(shadow = true) t_heap cfg =
   if cfg.shards < 1 || cfg.shards > Spec_mt.max_threads then
     Fmt.invalid_arg "Dataplane.create: 1-%d shards" Spec_mt.max_threads;
   if cfg.domains < 1 || cfg.domains > cfg.shards then
@@ -170,7 +171,9 @@ let create ?(params = Spec_soft.default_params) t_heap cfg =
      cells), the directory and root slot go through the parent — whose
      cache must be detached again before any worker forks, since the
      directory write and its heap allocation dirtied parent lines. *)
-  let oidx = Oindex.create t_heap ~pool ~shards:cfg.shards ~keys:cfg.keys in
+  let oidx =
+    Oindex.create ~shadow t_heap ~pool ~shards:cfg.shards ~keys:cfg.keys
+  in
   Pmem.detach_cache pm;
   let spd = (cfg.shards + cfg.domains - 1) / cfg.domains in
   let ring_cap = (spd * cfg.depth) + 8 in
@@ -186,6 +189,7 @@ let create ?(params = Spec_soft.default_params) t_heap cfg =
     addr_of_key;
     owner;
     owned_keys;
+    shadow;
     oidx;
     req_rings =
       Array.init cfg.domains (fun _ ->
@@ -323,7 +327,16 @@ let run ?(halt_after_batches = max_int) ?(on_ack = fun ~idx:_ ~value:_ -> ())
             Domain.cpu_relax ()
           done
       | Some (Stop { detach }) ->
-          if detach then Pmem.detach_cache t.views.(d);
+          if detach then begin
+            (* clean stop: flush this domain's shadow-mirror counter
+               deltas into its domain-local registry so they ride the
+               normal export/absorb merge at join *)
+            for s = 0 to cfg.shards - 1 do
+              if domain_of_shard t s = d then
+                Oindex.publish_shadow t.oidx ~shard:s
+            done;
+            Pmem.detach_cache t.views.(d)
+          end;
           running := false
       | None -> Domain.cpu_relax ()
     done
@@ -500,9 +513,12 @@ let recover t =
   Array.iter drain t.ack_rings;
   Array.iter (fun r -> while Spsc.try_pop r <> None do () done) t.req_rings;
   (* rediscover the ordered index from root slot + directory over the
-     replayed media: fresh tree handles, fresh populated bitmap (all
-     reads are unmetered peeks, so the parent cache stays clean) *)
-  t.oidx <- Oindex.recover t.heap ~shards:t.cfg.shards ~keys:t.cfg.keys;
+     replayed media: fresh tree handles, fresh populated bitmap, fresh
+     mirrors through the shards' own views (all reads are unmetered
+     peeks, so the parent cache stays clean) *)
+  t.oidx <-
+    Oindex.recover ~shadow:t.shadow ~pool:t.pool t.heap ~shards:t.cfg.shards
+      ~keys:t.cfg.keys;
   (* the replayed cells sit clean in the parent cache: hand them back
      to the views before the next run dirties those lines *)
   Pmem.detach_cache t.pm

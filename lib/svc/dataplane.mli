@@ -42,14 +42,17 @@ val default_log_region_bytes : int
 
 type t
 
-val create : ?params:Spec_soft.params -> Heap.t -> config -> t
+val create : ?params:Spec_soft.params -> ?shadow:bool -> Heap.t -> config -> t
 (** Build the plane on a freshly formatted root heap: allocates
     line-aligned per-shard key regions, carves per-shard log regions,
     detaches the parent cache, forks one view per domain, builds the
     partitioned {!Specpmt_backends.Spec_mt} pool, runs the per-shard
     adoption transactions and creates the per-shard ordered index
     ({!Oindex.create} — tree nodes in the carved sub-heaps, directory
-    under root slot {!Specpmt_backends.Slots.svc_index}).  A
+    under root slot {!Specpmt_backends.Slots.svc_index}).  [shadow]
+    (default [true]) mirrors each shard's tree in DRAM, built through
+    the shard's own view; workers publish the [shadow.*] counter
+    deltas on clean stop, before detaching their caches.  A
     [Threshold] reclaim trigger is clamped to a quarter of the log
     region so compaction keeps each shard's chain inside its carved
     region. *)

@@ -22,7 +22,18 @@ let dir_order d = d + 16
 let dir_hdr d s = d + 24 + (8 * s)
 let dir_bytes shards = 24 + (8 * shards)
 
-let create ?(order = 8) heap ~pool ~shards ~keys =
+(* Attach each shard's DRAM mirror with an unmetered peek through that
+   shard's OWN runtime view: in the data plane tree cells may still sit
+   dirty in the worker view's cache, and only the owning view observes
+   them — a parent-view peek could rebuild from stale media. *)
+let attach_mirrors ~pool trees =
+  Array.iteri
+    (fun s tree ->
+      let view = Spec_soft.pmem (Spec_mt.runtime pool s) in
+      Pbtree.attach_shadow (Ctx.peek_ctx view) tree)
+    trees
+
+let create ?(order = 8) ?(shadow = true) heap ~pool ~shards ~keys =
   let trees =
     Array.init shards (fun s ->
         (Spec_mt.thread pool s).Ctx.run_tx (fun ctx ->
@@ -44,9 +55,10 @@ let create ?(order = 8) heap ~pool ~shards ~keys =
   Pmem.store_int pm slot dir;
   Pmem.clwb pm slot;
   Pmem.sfence pm;
+  if shadow then attach_mirrors ~pool trees;
   { trees; populated = Bytes.make keys '\000'; shards; keys }
 
-let recover heap ~shards ~keys =
+let recover ?(shadow = true) ?pool heap ~shards ~keys =
   let pm = Heap.pmem heap in
   let ctx = Ctx.peek_ctx pm in
   let dir = ctx.Ctx.read (Heap.root_slot heap Slots.svc_index) in
@@ -65,6 +77,16 @@ let recover heap ~shards ~keys =
     (fun tree ->
       Pbtree.iter ctx tree (fun k _addr -> Bytes.set populated k '\001'))
     trees;
+  (* a pre-crash mirror is never trusted: rebuild each shard's mirror
+     from the replayed image — through the shard's runtime view when
+     the pool is known, else through the parent view (equivalent after
+     recovery, when no view holds dirty tree lines) *)
+  if shadow then begin
+    match pool with
+    | Some pool -> attach_mirrors ~pool trees
+    | None ->
+        Array.iter (fun tree -> Pbtree.attach_shadow ctx tree) trees
+  end;
   { trees; populated; shards; keys }
 
 let ensure ctx t ~shard ~key ~addr =
@@ -92,3 +114,8 @@ let populated_count t =
   !n
 
 let tree t s = t.trees.(s)
+
+let publish_shadow t ~shard =
+  match Pbtree.shadow t.trees.(shard) with
+  | Some sh -> Shadow.publish sh
+  | None -> ()

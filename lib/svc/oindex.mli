@@ -28,19 +28,35 @@ open Specpmt_txn
 type t
 
 val create :
-  ?order:int -> Heap.t -> pool:Spec_mt.t -> shards:int -> keys:int -> t
+  ?order:int ->
+  ?shadow:bool ->
+  Heap.t ->
+  pool:Spec_mt.t ->
+  shards:int ->
+  keys:int ->
+  t
 (** Create one empty tree per shard (each inside one committed
     transaction on that shard's backend, so node cells are logged
     before any later structural update can tear them), then persist the
-    directory and root slot through the parent heap's view.  Data-plane
-    callers must detach the parent cache afterwards, before workers
-    fork. *)
+    directory and root slot through the parent heap's view.  [shadow]
+    (default [true]) equips every tree with a DRAM mirror
+    ({!Specpmt_pstruct.Pbtree.attach_shadow}), built with one unmetered
+    peek through the shard's {e own} runtime view — the only view
+    guaranteed to observe tree lines still dirty in a worker cache.
+    Data-plane callers must detach the parent cache afterwards, before
+    workers fork. *)
 
-val recover : Heap.t -> shards:int -> keys:int -> t
+val recover : ?shadow:bool -> ?pool:Spec_mt.t -> Heap.t -> shards:int -> keys:int -> t
 (** Rebuild from the root slot after {!Specpmt_backends.Spec_mt.recover}
     has replayed the logs: re-read the directory, re-handle every tree
     ({!Specpmt_pstruct.Pbtree.of_header}) and rebuild the populated
-    bitmap by walking them.  All reads are unmetered peeks.  Raises
+    bitmap by walking them.  All reads are unmetered peeks.  [shadow]
+    (default [true]) rebuilds each tree's mirror from the replayed
+    image — a pre-crash mirror is never reused, because a crash inside
+    the commit protocol can leave a transaction durable that the
+    mirror's outcome hook reported as failed.  Pass [pool] to peek
+    through each shard's runtime view (the data plane does; equivalent
+    to the parent view once recovery has drained every cache).  Raises
     [Invalid_argument] when the directory disagrees with the expected
     geometry (wrong pool). *)
 
@@ -62,3 +78,10 @@ val populated_count : t -> int
 
 val tree : t -> int -> Specpmt_pstruct.Pbtree.t
 (** Shard [i]'s tree handle (test/audit use). *)
+
+val publish_shadow : t -> shard:int -> unit
+(** Push [shard]'s mirror counter deltas ([shadow.hits] /
+    [shadow.misses] / [shadow.rebuild_ns]) into the calling domain's
+    metrics registry; no-op without a mirror.  Must run on the domain
+    that owns the shard — data-plane workers call it before a clean
+    stop, so the deltas ride the normal export/absorb merge. *)

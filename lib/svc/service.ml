@@ -57,6 +57,7 @@ type t = {
   base : Addr.t;
   shard_tbl : shard array;
   owned : int array array;  (* shard -> its keys, ascending *)
+  shadow : bool;  (* DRAM mirrors on the ordered index *)
   mutable oidx : Oindex.t;  (* per-shard ordered index; rebuilt on recover *)
 }
 
@@ -71,7 +72,7 @@ let route ~shards k = ((k * 2654435761) land 0xFFFF_FFFF) lsr 13 mod shards
 let shard_of_key t k = route ~shards:t.cfg.shards k
 let key_addr t k = t.base + (k * 8)
 
-let create ?params heap cfg =
+let create ?params ?(shadow = true) heap cfg =
   if cfg.shards < 1 || cfg.shards > Spec_mt.max_threads then
     Fmt.invalid_arg "Service.create: 1-%d shards" Spec_mt.max_threads;
   if cfg.batch_max < 1 then invalid_arg "Service.create: batch_max < 1";
@@ -103,7 +104,7 @@ let create ?params heap cfg =
                 (fun k -> ctx.Specpmt_txn.Ctx.write (base + (k * 8)) 0)
                 row))
     owned;
-  let oidx = Oindex.create heap ~pool ~shards:cfg.shards ~keys:cfg.keys in
+  let oidx = Oindex.create ~shadow heap ~pool ~shards:cfg.shards ~keys:cfg.keys in
   {
     pm = Heap.pmem heap;
     heap;
@@ -111,6 +112,7 @@ let create ?params heap cfg =
     pool;
     base;
     owned;
+    shadow;
     oidx;
     shard_tbl =
       Array.init cfg.shards (fun id ->
@@ -241,8 +243,11 @@ let recover t =
       Group_commit.reset s.gc)
     t.shard_tbl;
   (* rediscover the ordered index from its root slot: fresh tree
-     handles off the replayed media, fresh populated bitmap *)
-  t.oidx <- Oindex.recover t.heap ~shards:t.cfg.shards ~keys:t.cfg.keys
+     handles off the replayed media, fresh populated bitmap, fresh
+     mirrors (a pre-crash mirror is never reused) *)
+  t.oidx <-
+    Oindex.recover ~shadow:t.shadow ~pool:t.pool t.heap ~shards:t.cfg.shards
+      ~keys:t.cfg.keys
 
 let peek t k =
   if k < 0 || k >= t.cfg.keys then invalid_arg "Service.peek: bad key";

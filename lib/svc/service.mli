@@ -60,7 +60,7 @@ type config = {
 
 type t
 
-val create : ?params:Spec_soft.params -> Heap.t -> config -> t
+val create : ?params:Spec_soft.params -> ?shadow:bool -> Heap.t -> config -> t
 (** Build the service on a formatted pool: allocates the key table,
     runs one {e adoption} transaction per shard (writing 0 to every
     owned key) so that every cell is logged before its first client
@@ -68,7 +68,9 @@ val create : ?params:Spec_soft.params -> Heap.t -> config -> t
     in-place updates — and creates the per-shard ordered index
     ({!Oindex.create}), persisting its directory under root slot
     {!Specpmt_backends.Slots.svc_index}.  Adoption does not populate
-    the index: only client writes do. *)
+    the index: only client writes do.  [shadow] (default [true])
+    mirrors each shard's tree in DRAM (see {!Oindex.create}); pass
+    [false] to measure the unmirrored baseline. *)
 
 val submit :
   t -> client:int -> key:int -> op -> Admission.verdict

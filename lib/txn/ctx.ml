@@ -18,7 +18,41 @@ type ctx = {
   write : Addr.t -> int -> unit;  (** transactional store of an 8-byte cell *)
   alloc : int -> Addr.t;  (** persistent allocation (not rolled back) *)
   free : Addr.t -> unit;
+  on_end : (bool -> unit) -> unit;
+      (** Register a volatile outcome hook on the open transaction: the
+          callback fires exactly once when the transaction ends —
+          [true] after a successful commit, [false] after a rollback or
+          when any exception (including a device crash) escapes the
+          transaction body without committing.  Hooks are volatile
+          bookkeeping only (DRAM caches staging their deltas, e.g. the
+          {!Specpmt_pstruct} shadow mirror): they must not touch the
+          device, and they do not survive recovery — post-crash state
+          is rebuilt from media, never from hook effects.
+          Non-transactional contexts ({!raw_ctx}) invoke the callback
+          immediately with [true]; read-only contexts ({!peek_ctx})
+          raise [Invalid_argument]. *)
 }
+
+(** Per-transaction hook registry for backends: collect {!ctx.on_end}
+    callbacks while the transaction runs, then {!Hooks.fire} them with
+    the outcome from the [run_tx] dispatch arms (never from inside
+    commit/rollback helpers — some backends' rollback path calls their
+    commit helper). *)
+module Hooks = struct
+  type t = { mutable fns : (bool -> unit) list }
+
+  let create () = { fns = [] }
+  let register t f = t.fns <- f :: t.fns
+
+  (* fire in registration order; clear first so a hook that itself opens
+     a transaction cannot re-enter a stale list *)
+  let fire t ok =
+    match t.fns with
+    | [] -> ()
+    | fns ->
+        t.fns <- [];
+        List.iter (fun f -> f ok) (List.rev fns)
+end
 
 exception Abort
 (** Raised by user code to abort the open transaction; the backend rolls
@@ -54,6 +88,10 @@ let raw_ctx (heap : Specpmt_pmalloc.Heap.t) =
     write = (fun a v -> Pmem.store_int pm a v);
     alloc = (fun n -> Specpmt_pmalloc.Heap.alloc heap n);
     free = (fun a -> Specpmt_pmalloc.Heap.free heap a);
+    (* non-transactional: every effect is already final when made, so an
+       outcome hook can only ever observe a commit — fire it now (which
+       is why hook users must stage their delta BEFORE registering) *)
+    on_end = (fun f -> f true);
   }
 
 (** Read-only, unmetered access for recovery rediscovery and post-crash
@@ -67,4 +105,5 @@ let peek_ctx (pm : Pmem.t) =
     write = (fun _ _ -> invalid_arg "Ctx.peek_ctx: read-only");
     alloc = (fun _ -> invalid_arg "Ctx.peek_ctx: read-only");
     free = (fun _ -> invalid_arg "Ctx.peek_ctx: read-only");
+    on_end = (fun _ -> invalid_arg "Ctx.peek_ctx: read-only");
   }

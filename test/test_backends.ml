@@ -930,6 +930,31 @@ let test_abort_releases_allocations () =
   Alcotest.(check int) "no leak across aborted transactions" steady
     (Heap.live_bytes heap)
 
+(* read-own-writes fast path: Spht's [tx_read] must not probe the write
+   buffer while the transaction's write set is empty — the common case
+   for read-only transactions.  The [tx.buffer_probes] counter meters
+   the slow path, so a read-only transaction must leave it untouched
+   while a read-after-write transaction still takes it (correct
+   redirection is covered by the durability suites; this pins the cost
+   model). *)
+let test_spht_readonly_skips_buffer () =
+  let _, heap, b = mk_backend Registry.Spht in
+  let base = Heap.alloc heap 64 in
+  b.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 5);
+  let c = Specpmt_obs.Metrics.counter "tx.buffer_probes" in
+  let v0 = Specpmt_obs.Metrics.counter_value c in
+  b.Ctx.run_tx (fun ctx ->
+      for i = 0 to 9 do
+        ignore (ctx.Ctx.read (base + (8 * (i mod 2))))
+      done);
+  Alcotest.(check int) "read-only tx probes no buffer" v0
+    (Specpmt_obs.Metrics.counter_value c);
+  b.Ctx.run_tx (fun ctx ->
+      ctx.Ctx.write base 9;
+      Alcotest.(check int) "reads own write" 9 (ctx.Ctx.read base));
+  Alcotest.(check bool) "read-after-write still probes" true
+    (Specpmt_obs.Metrics.counter_value c > v0)
+
 let () =
   Alcotest.run "backends"
     [
@@ -985,5 +1010,7 @@ let () =
             test_switch_out_invalidates_log;
           Alcotest.test_case "abort releases allocations" `Quick
             test_abort_releases_allocations;
+          Alcotest.test_case "spht read-only tx skips the write buffer"
+            `Quick test_spht_readonly_skips_buffer;
         ] );
     ]

@@ -706,6 +706,29 @@ let prop_epoch_protocol_safe =
                   all))
         all)
 
+(* read-own-writes fast path: HOOP's [tx_read] must not probe the
+   redirection buffer while the transaction's write set is empty — the
+   [tx.buffer_probes] counter meters the slow path (see the Spht twin
+   in test_backends.ml). *)
+let test_hoop_readonly_skips_buffer () =
+  let _, heap = mk_pool () in
+  let b = Hw_registry.create heap Hw_registry.Hoop in
+  let base = Heap.alloc heap 64 in
+  b.Ctx.run_tx (fun ctx -> ctx.Ctx.write base 5);
+  let c = Specpmt_obs.Metrics.counter "tx.buffer_probes" in
+  let v0 = Specpmt_obs.Metrics.counter_value c in
+  b.Ctx.run_tx (fun ctx ->
+      for i = 0 to 9 do
+        ignore (ctx.Ctx.read (base + (8 * (i mod 2))))
+      done);
+  Alcotest.(check int) "read-only tx probes no buffer" v0
+    (Specpmt_obs.Metrics.counter_value c);
+  b.Ctx.run_tx (fun ctx ->
+      ctx.Ctx.write base 9;
+      Alcotest.(check int) "reads own write" 9 (ctx.Ctx.read base));
+  Alcotest.(check bool) "read-after-write still probes" true
+    (Specpmt_obs.Metrics.counter_value c > v0)
+
 let durability_cases =
   List.concat_map
     (fun kind ->
@@ -791,5 +814,10 @@ let () =
           Alcotest.test_case "safe reclamation accepted" `Quick
             test_epoch_protocol_accepts_safe;
           QCheck_alcotest.to_alcotest prop_epoch_protocol_safe;
+        ] );
+      ( "regressions",
+        [
+          Alcotest.test_case "hoop read-only tx skips the write buffer"
+            `Quick test_hoop_readonly_skips_buffer;
         ] );
     ]

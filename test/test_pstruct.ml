@@ -369,6 +369,116 @@ let prop_pbtree_crash_recover =
         bindings () = IntMap.bindings models.(Array.length models - 1)
       end)
 
+(* shadow mirror: directed coherence checks, then the qcheck
+   differential against a fresh peek rebuild *)
+
+(* a mirrored raw-ctx handle stays coherent (the immediate-fire hook
+   path), and the mirror serves the same answers as the media *)
+let test_shadow_raw_coherent () =
+  let pm, _, ctx = mk () in
+  let t = Pbtree.create ~order:4 ctx () in
+  Pbtree.attach_shadow ctx t;
+  for i = 0 to 199 do
+    Pbtree.insert ctx t (i * 17 mod 201) i
+  done;
+  for i = 0 to 49 do
+    ignore (Pbtree.remove ctx t (i * 29 mod 201))
+  done;
+  Pbtree.check ctx t;
+  Pbtree.verify_shadow ctx t;
+  (match Pbtree.shadow t with
+  | None -> Alcotest.fail "mirror detached"
+  | Some sh ->
+      let hits, misses, _ = Shadow.totals sh in
+      Alcotest.(check int) "no mirror misses" 0 misses;
+      Alcotest.(check bool) "mirror served descents" true (hits > 0));
+  ignore pm
+
+(* a transaction that aborts leaves the mirror exactly where the media
+   is: staged deltas drop with the rollback *)
+let test_shadow_abort_drops_stage () =
+  let pm = Pmem.create ~seed:3 Config.small in
+  let heap = Heap.create pm in
+  let b =
+    Specpmt_backends.Registry.create heap Specpmt_backends.Registry.Spec
+  in
+  let t = b.Ctx.run_tx (fun ctx -> Pbtree.create ~order:4 ctx ()) in
+  Pbtree.attach_shadow (Ctx.peek_ctx pm) t;
+  b.Ctx.run_tx (fun ctx ->
+      for i = 0 to 40 do
+        Pbtree.insert ctx t i (i * 3)
+      done);
+  (try
+     b.Ctx.run_tx (fun ctx ->
+         (* enough churn to split nodes and free one before rolling back *)
+         for i = 41 to 80 do
+           Pbtree.insert ctx t i 1
+         done;
+         for i = 0 to 30 do
+           ignore (Pbtree.remove ctx t i)
+         done;
+         raise Ctx.Abort)
+   with Ctx.Abort -> ());
+  let ctx = Ctx.peek_ctx pm in
+  Pbtree.check ctx t;
+  Pbtree.verify_shadow ctx t;
+  Alcotest.(check int) "aborted inserts invisible" 41 (Pbtree.length ctx t)
+
+let prop_shadow_differential =
+  QCheck.Test.make ~name:"shadow mirror equals a fresh peek rebuild"
+    ~count:40
+    QCheck.(
+      triple
+        (list_of_size Gen.(10 -- 80)
+           (triple (int_bound 150) (int_bound 10_000) (int_bound 8)))
+        (int_bound 4_000) small_nat)
+    (fun (ops, fuse, seed) ->
+      let pm =
+        Pmem.create ~seed { Config.small with crash_word_persist_prob = 0.6 }
+      in
+      let heap = Heap.create pm in
+      let b =
+        Specpmt_backends.Registry.create heap Specpmt_backends.Registry.Spec
+      in
+      let t = b.Ctx.run_tx (fun ctx -> Pbtree.create ~order:4 ctx ()) in
+      Pbtree.attach_shadow (Ctx.peek_ctx pm) t;
+      let apply ctx (k, v, action) =
+        if action < 6 then Pbtree.insert ctx t k v
+        else ignore (Pbtree.remove ctx t k)
+      in
+      Pmem.set_fuse pm (Some (1 + fuse));
+      let crashed =
+        try
+          List.iter (fun op -> b.Ctx.run_tx (fun ctx -> apply ctx op)) ops;
+          Pmem.set_fuse pm None;
+          false
+        with Pmem.Crash -> true
+      in
+      if crashed then begin
+        Pmem.crash pm;
+        b.Ctx.recover ();
+        (* the pre-crash mirror is never reused — a crash inside the
+           commit protocol can leave a tx durable that the outcome hook
+           reported as failed — so rebuild from the replayed media and
+           keep churning with the live mirror on *)
+        Pbtree.detach_shadow t;
+        Pbtree.attach_shadow (Ctx.peek_ctx pm) t;
+        List.iter (fun op -> b.Ctx.run_tx (fun ctx -> apply ctx op)) ops
+      end;
+      (* (1) the incrementally-maintained mirror field-equals the media *)
+      let ctx = Ctx.peek_ctx pm in
+      Pbtree.verify_shadow ctx t;
+      (* (2) and serves the same bindings as a freshly rebuilt mirror on
+         a rediscovered handle of the same tree *)
+      let t' = Pbtree.of_header ctx (Pbtree.header t) in
+      Pbtree.check ctx t';
+      Pbtree.attach_shadow ctx t';
+      Pbtree.verify_shadow ctx t';
+      let walk h =
+        List.rev (Pbtree.fold ctx h (fun k v acc -> (k, v) :: acc) [])
+      in
+      walk t = walk t' && Pbtree.length ctx t = Pbtree.length ctx t')
+
 (* structures running inside transactions recover correctly *)
 
 let test_structures_under_crash () =
@@ -421,6 +531,14 @@ let () =
         [
           Alcotest.test_case "structure" `Quick test_pbtree_structure;
           QCheck_alcotest.to_alcotest prop_pbtree_crash_recover;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "raw-ctx mirror coherent" `Quick
+            test_shadow_raw_coherent;
+          Alcotest.test_case "abort drops the stage" `Quick
+            test_shadow_abort_drops_stage;
+          QCheck_alcotest.to_alcotest prop_shadow_differential;
         ] );
       ( "transactional",
         [

@@ -7,10 +7,10 @@ open Specpmt_svc
    pressure, and a kill in the middle of a batch loses nothing that was
    acknowledged while exposing nothing that was not. *)
 
-let mk_svc ?(seed = 5) cfg =
+let mk_svc ?(seed = 5) ?shadow cfg =
   let pm = Pmem.create ~seed Config.small in
   let heap = Heap.create pm in
-  (pm, Service.create heap cfg)
+  (pm, Service.create ?shadow heap cfg)
 
 (* router hash: the directed regression for the precedence bug.  The
    old code computed [k * (2654435761 land 0xFFFFFFFF lsr 13)] — [lsr]
@@ -368,6 +368,68 @@ let test_alloc_budget_per_write () =
     (Printf.sprintf "%.1f minor words per committed write <= 200" per_op)
     true (per_op <= 200.0)
 
+(* ---------- descent-read budget (shadow mirror) ---------- *)
+
+(* The read-side companion of the minor-words budget above: with the
+   DRAM mirror on, a tree descent costs no device loads at all, so a
+   Scan's loads are essentially its metered cell reads, and a len-1
+   scan (the point-lookup shape) stays under a flat handful.  Asserted
+   against the device counter AND the shadow counters, so a silent
+   mirror regression (detached, stale, or bypassed — every fetch a
+   miss) fails here and in CI before any perf number moves. *)
+let scan_loads_probe ~shadow ~len ~rounds =
+  let pm, svc =
+    mk_svc ~shadow { Service.shards = 1; batch_max = 8; depth = 64; keys = 256 }
+  in
+  let chunk lo =
+    for k = lo to lo + 63 do
+      match Service.submit svc ~client:0 ~key:k (Service.Write (k * 3)) with
+      | Admission.Accepted -> ()
+      | Admission.Rejected _ -> Alcotest.fail "unexpected shed"
+    done;
+    ignore (Service.drain svc)
+  in
+  chunk 0;
+  chunk 64;
+  chunk 128;
+  chunk 192;
+  let l0 = (Pmem.stats pm).Stats.loads in
+  for r = 0 to rounds - 1 do
+    (match
+       Service.submit svc ~client:0 ~key:(r * 37 mod 256) (Service.Scan len)
+     with
+    | Admission.Accepted -> ()
+    | Admission.Rejected _ -> Alcotest.fail "unexpected shed");
+    if r mod 32 = 31 then ignore (Service.drain svc)
+  done;
+  ignore (Service.drain svc);
+  let loads = (Pmem.stats pm).Stats.loads - l0 in
+  (float_of_int loads /. float_of_int rounds, svc)
+
+let test_descent_read_budget () =
+  let per_on, svc = scan_loads_probe ~shadow:true ~len:16 ~rounds:64 in
+  let per_off, _ = scan_loads_probe ~shadow:false ~len:16 ~rounds:64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "len-16 scan: %.1f device loads/op (mirror) <= 24" per_on)
+    true (per_on <= 24.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "mirror saves descent loads (%.1f < %.1f)" per_on per_off)
+    true (per_on < per_off);
+  match
+    Specpmt_pstruct.Pbtree.shadow (Oindex.tree (Service.oindex svc) 0)
+  with
+  | None -> Alcotest.fail "shard 0 has no mirror"
+  | Some sh ->
+      let hits, misses, _ = Specpmt_pstruct.Shadow.totals sh in
+      Alcotest.(check int) "no mirror misses" 0 misses;
+      Alcotest.(check bool) "mirror served descents" true (hits > 0)
+
+let test_point_lookup_budget () =
+  let per_on, _ = scan_loads_probe ~shadow:true ~len:1 ~rounds:64 in
+  Alcotest.(check bool)
+    (Printf.sprintf "len-1 scan: %.1f device loads/op (mirror) <= 4" per_on)
+    true (per_on <= 4.0)
+
 (* ---------- shard-per-domain data plane ---------- *)
 
 let mk_plane ?(shards = 4) ?(keys = 128) ~domains () =
@@ -526,6 +588,13 @@ let () =
         [
           Alcotest.test_case "minor words per committed write" `Quick
             test_alloc_budget_per_write;
+        ] );
+      ( "reads",
+        [
+          Alcotest.test_case "device loads per scan under the mirror" `Quick
+            test_descent_read_budget;
+          Alcotest.test_case "device loads per point lookup" `Quick
+            test_point_lookup_budget;
         ] );
       ( "dataplane",
         [
